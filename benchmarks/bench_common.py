@@ -1,0 +1,35 @@
+"""Shared configuration and helpers for the benchmark modules.
+
+Kept separate from ``conftest.py`` so that benchmark modules import it under
+a unique module name (``bench_common``) and never collide with the test
+suite's own ``conftest`` when both directories are collected together.
+"""
+
+from repro.experiments import paper_scaled_config
+
+#: configuration shared by the figure benchmarks: smaller than the paper's
+#: 10k-graph dataset (pure-Python substrate) but large enough that the
+#: relative shapes of Figures 8-12 are visible.
+BENCH_CONFIG = paper_scaled_config(
+    database_size=150,
+    queries_per_set=8,
+    feature_max_edges=5,
+    max_features=200,
+    feature_sample_size=30,
+)
+
+#: reduced configuration for the fragment-size sweep (Figure 12) which has
+#: to build one index per fragment size.
+FIGURE12_CONFIG = paper_scaled_config(
+    database_size=100,
+    queries_per_set=6,
+    feature_max_edges=5,
+    max_features=120,
+    feature_sample_size=25,
+)
+
+
+def emit(table):
+    """Print a result table beneath the benchmark output."""
+    print()
+    print(table.to_text())

@@ -1,0 +1,24 @@
+"""Fixtures for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments import build_environment
+
+from bench_common import BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """The shared benchmark configuration."""
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def bench_environment(bench_config):
+    """The shared experiment environment (built once per session)."""
+    return build_environment(bench_config)

@@ -1,0 +1,69 @@
+"""E9 — per-class backend ablation (Example 3: R-tree for the linear distance)."""
+
+import random
+
+import pytest
+
+from repro.core import LinearMutationDistance, MutationDistance
+from repro.experiments import backend_ablation
+from repro.index import LinearScanBackend, RTreeBackend, TrieBackend, VPTreeBackend
+
+from bench_common import emit
+
+
+def _categorical_entries(count, length, seed=3):
+    rng = random.Random(seed)
+    alphabet = ["single", "double", "aromatic"]
+    return [
+        (tuple(rng.choice(alphabet) for _ in range(length)), position % 97)
+        for position in range(count)
+    ]
+
+
+def _numeric_entries(count, length, seed=5):
+    rng = random.Random(seed)
+    return [
+        (tuple(round(rng.gauss(1.5, 0.2), 3) for _ in range(length)), position % 97)
+        for position in range(count)
+    ]
+
+
+@pytest.mark.parametrize("backend_name", ["linear", "trie", "vptree"])
+def test_bench_categorical_range_query(benchmark, backend_name):
+    """Benchmark range queries over 3000 categorical fragment sequences."""
+    measure = MutationDistance(include_vertices=False, include_edges=True)
+    backend = {"linear": LinearScanBackend, "trie": TrieBackend, "vptree": VPTreeBackend}[
+        backend_name
+    ](measure)
+    entries = _categorical_entries(3000, 5)
+    backend.bulk_insert(entries)
+    query = entries[0][0]
+
+    result = benchmark(backend.range_query, query, 1)
+    assert result
+
+
+@pytest.mark.parametrize("backend_name", ["linear", "rtree", "vptree"])
+def test_bench_numeric_range_query(benchmark, backend_name):
+    """Benchmark range queries over 3000 numeric fragment vectors."""
+    measure = LinearMutationDistance(include_vertices=False, include_edges=True)
+    backend = {"linear": LinearScanBackend, "rtree": RTreeBackend, "vptree": VPTreeBackend}[
+        backend_name
+    ](measure)
+    entries = _numeric_entries(3000, 5)
+    backend.bulk_insert(entries)
+    query = entries[0][0]
+
+    result = benchmark(backend.range_query, query, 0.2)
+    assert result
+
+
+def test_bench_backend_ablation_table(benchmark):
+    """Regenerate the backend-agreement table on a weighted database."""
+    table = benchmark.pedantic(
+        backend_ablation,
+        kwargs={"num_graphs": 40, "num_queries": 3, "query_edges": 6},
+        rounds=1, iterations=1,
+    )
+    emit(table)
+    assert all(value == "yes" for value in table.column_series("agrees with linear"))

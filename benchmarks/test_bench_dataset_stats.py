@@ -1,0 +1,24 @@
+"""E0 — dataset statistics (Section 7's dataset description) and build costs."""
+
+from repro.datasets import generate_chemical_database
+from repro.experiments import dataset_statistics
+
+from bench_common import BENCH_CONFIG, emit
+
+
+def test_bench_database_generation(benchmark):
+    """Benchmark synthetic database generation (the AIDS-sample substitute)."""
+    database = benchmark(generate_chemical_database, 100, 7)
+    stats = database.stats().as_dict()
+    assert 20 <= stats["avg_vertices"] <= 32
+    assert stats["dominant_vertex_label"] == "C"
+
+
+def test_bench_dataset_statistics_table(benchmark, bench_environment):
+    """Regenerate the dataset-statistics table (paper vs reproduction)."""
+    table = benchmark.pedantic(
+        dataset_statistics, args=(BENCH_CONFIG,), rounds=1, iterations=1
+    )
+    emit(table)
+    quantities = table.column_series("quantity")
+    assert "avg vertices" in quantities

@@ -1,0 +1,25 @@
+"""Figure 8 — average candidate-set size: topoPrune vs PIS (sigma = 1, 2, 4)."""
+
+from repro.experiments import figure8
+
+from bench_common import BENCH_CONFIG, emit
+
+
+def test_bench_figure8(benchmark):
+    """Regenerate Figure 8 for the Q16 query set."""
+    table = benchmark.pedantic(
+        figure8, kwargs={"config": BENCH_CONFIG, "query_edges": 16},
+        rounds=1, iterations=1,
+    )
+    emit(table)
+
+    # Shape assertions (the paper's qualitative claims):
+    # PIS never returns more candidates than topoPrune, and tighter
+    # thresholds return fewer candidates, in every non-empty bucket.
+    for row in table.rows:
+        values = dict(zip(table.columns, row))
+        if values["topoPrune"] is None:
+            continue
+        assert values["PIS sigma=1"] <= values["PIS sigma=2"] + 1e-9
+        assert values["PIS sigma=2"] <= values["PIS sigma=4"] + 1e-9
+        assert values["PIS sigma=4"] <= values["topoPrune"] + 1e-9

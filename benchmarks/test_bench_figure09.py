@@ -1,0 +1,23 @@
+"""Figure 9 — candidate reduction ratio of PIS over topoPrune, query set Q16."""
+
+from repro.experiments import figure9
+
+from bench_common import BENCH_CONFIG, emit
+
+
+def test_bench_figure9(benchmark):
+    """Regenerate Figure 9 (reduction ratio Y_t / Y_p for Q16)."""
+    table = benchmark.pedantic(
+        figure9, kwargs={"config": BENCH_CONFIG, "query_edges": 16},
+        rounds=1, iterations=1,
+    )
+    emit(table)
+
+    ratios_sigma1 = [v for v in table.column_series("PIS sigma=1") if v is not None]
+    ratios_sigma4 = [v for v in table.column_series("PIS sigma=4") if v is not None]
+    # every ratio is >= 1 (PIS can only shrink the candidate set) ...
+    assert all(ratio >= 1.0 - 1e-9 for ratio in ratios_sigma1 + ratios_sigma4)
+    # ... the tighter threshold prunes at least as well on average ...
+    assert sum(ratios_sigma1) / len(ratios_sigma1) >= sum(ratios_sigma4) / len(ratios_sigma4) - 1e-9
+    # ... and on the most selective non-empty bucket the reduction is large.
+    assert max(ratios_sigma1) >= 2.0

@@ -1,0 +1,19 @@
+"""Figure 10 — candidate reduction ratio for the larger query set Q24."""
+
+from repro.experiments import figure10
+
+from bench_common import BENCH_CONFIG, emit
+
+
+def test_bench_figure10(benchmark):
+    """Regenerate Figure 10 (reduction ratio for Q24, sigma = 1, 3, 5)."""
+    table = benchmark.pedantic(
+        figure10, kwargs={"config": BENCH_CONFIG, "query_edges": 24},
+        rounds=1, iterations=1,
+    )
+    emit(table)
+
+    ratios_sigma1 = [v for v in table.column_series("PIS sigma=1") if v is not None]
+    ratios_sigma5 = [v for v in table.column_series("PIS sigma=5") if v is not None]
+    assert all(ratio >= 1.0 - 1e-9 for ratio in ratios_sigma1 + ratios_sigma5)
+    assert sum(ratios_sigma1) / len(ratios_sigma1) >= sum(ratios_sigma5) / len(ratios_sigma5) - 1e-9

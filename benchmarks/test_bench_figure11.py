@@ -1,0 +1,28 @@
+"""Figure 11 — sensitivity of the selectivity cutoff (lambda * sigma)."""
+
+from repro.experiments import figure11
+
+from bench_common import BENCH_CONFIG, emit
+
+
+def test_bench_figure11(benchmark):
+    """Regenerate Figure 11 (cutoff factor lambda in {0.5, 1, 2}, Q16, sigma=2)."""
+    table = benchmark.pedantic(
+        figure11,
+        kwargs={"config": BENCH_CONFIG, "query_edges": 16, "sigma": 2},
+        rounds=1, iterations=1,
+    )
+    emit(table)
+
+    half = [v for v in table.column_series("PIS lambda=0.5") if v is not None]
+    one = [v for v in table.column_series("PIS lambda=1") if v is not None]
+    two = [v for v in table.column_series("PIS lambda=2") if v is not None]
+    # paper: pruning performance descends for lambda < 1 and does not for
+    # lambda >= 1.  (With a small query sample the lambda >= 1 curves are
+    # close but not bit-identical, because greedy tie-breaking in the
+    # partition can differ; the shape claim is the two inequalities below.)
+    mean_half = sum(half) / len(half)
+    mean_one = sum(one) / len(one)
+    mean_two = sum(two) / len(two)
+    assert mean_half <= mean_one + 1e-9
+    assert mean_one >= 1.0 and mean_two >= 1.0

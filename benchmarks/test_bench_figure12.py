@@ -1,0 +1,28 @@
+"""Figure 12 — pruning performance vs maximum indexed fragment size."""
+
+from repro.experiments import figure12
+
+from bench_common import FIGURE12_CONFIG, emit
+
+
+def test_bench_figure12(benchmark):
+    """Regenerate Figure 12 (max fragment size 4 / 5 / 6 edges, Q16, sigma=2)."""
+    table = benchmark.pedantic(
+        figure12,
+        kwargs={
+            "config": FIGURE12_CONFIG,
+            "query_edges": 16,
+            "sigma": 2,
+            "fragment_sizes": (4, 5, 6),
+        },
+        rounds=1, iterations=1,
+    )
+    emit(table)
+
+    def mean(column):
+        values = [v for v in table.column_series(column) if v is not None]
+        return sum(values) / len(values)
+
+    # paper: indexing larger fragments improves pruning (on average).
+    assert mean("PIS size=4") >= 1.0 - 1e-9
+    assert mean("PIS size=6") >= mean("PIS size=4") - 0.15

@@ -1,0 +1,51 @@
+"""Index construction cost (Section 4) and Example 1 end-to-end latency."""
+
+import pytest
+
+from repro.core import default_edge_mutation_distance
+from repro.datasets import example_database, figure2_query, generate_chemical_database
+from repro.index import FragmentIndex
+from repro.mining import ExhaustiveFeatureSelector, PathFeatureSelector
+from repro.search import PISearch
+
+from bench_common import emit
+
+
+@pytest.fixture(scope="module")
+def small_database():
+    return generate_chemical_database(40, seed=29)
+
+
+def test_bench_feature_selection(benchmark, small_database):
+    """Benchmark exhaustive structure selection (up to 4-edge fragments)."""
+    selector = ExhaustiveFeatureSelector(max_edges=4, min_support=0.1, sample_size=20)
+    features = benchmark(selector.select, small_database)
+    assert features
+
+
+def test_bench_index_build(benchmark, small_database):
+    """Benchmark fragment-index construction over 40 molecules."""
+    measure = default_edge_mutation_distance()
+    features = ExhaustiveFeatureSelector(
+        max_edges=4, min_support=0.1, sample_size=20
+    ).select(small_database)
+
+    def build():
+        return FragmentIndex(features, measure).build(small_database)
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert index.stats().num_entries > 0
+
+
+def test_bench_example1_end_to_end(benchmark):
+    """E8: Example 1 (Figure 1/2) — index the 3-molecule database and query it."""
+    measure = default_edge_mutation_distance()
+
+    def run():
+        database = example_database()
+        features = PathFeatureSelector(max_path_edges=3).select(database)
+        index = FragmentIndex(features, measure).build(database)
+        return PISearch(index, database).search(figure2_query(), 1.9)
+
+    result = benchmark(run)
+    assert sorted(result.answer_ids) == [0, 2]

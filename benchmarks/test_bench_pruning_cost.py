@@ -1,0 +1,52 @@
+"""E6 — pruning cost vs verification cost (Section 7's timing claim)."""
+
+import pytest
+
+from repro.experiments import timing_breakdown
+
+from bench_common import BENCH_CONFIG, emit
+
+
+@pytest.fixture(scope="module")
+def query_and_engines(bench_environment):
+    query = bench_environment.workload.sample_queries(16, 1)[0]
+    return query, bench_environment.pis(), bench_environment.topo()
+
+
+def test_bench_pis_filtering_phase(benchmark, query_and_engines):
+    """Benchmark the index-only filtering phase of one Q16 query."""
+    query, pis, _ = query_and_engines
+    candidates = benchmark(pis.candidates, query, 2)
+    assert len(candidates) <= len(pis.database)
+
+
+def test_bench_pis_verification_phase(benchmark, query_and_engines):
+    """Benchmark verification of the PIS candidate set of the same query."""
+    query, pis, _ = query_and_engines
+    candidate_ids = pis.candidates(query, 2)
+
+    answers, _ = benchmark(pis.verify, query, 2, candidate_ids)
+    assert set(answers) <= set(candidate_ids)
+
+
+def test_bench_topoprune_verification_phase(benchmark, query_and_engines):
+    """Benchmark verification of the (larger) topoPrune candidate set."""
+    query, pis, topo = query_and_engines
+    candidate_ids = topo.candidates(query, 2)
+    answers, _ = benchmark.pedantic(
+        topo.verify, args=(query, 2, candidate_ids), rounds=1, iterations=1
+    )
+    assert set(answers) <= set(candidate_ids)
+
+
+def test_bench_timing_breakdown_table(benchmark):
+    """Regenerate the pruning-vs-verification table."""
+    table = benchmark.pedantic(
+        timing_breakdown,
+        kwargs={"config": BENCH_CONFIG, "query_edges": 16, "sigma": 2, "num_queries": 4},
+        rounds=1, iterations=1,
+    )
+    emit(table)
+    for row in table.rows:
+        values = dict(zip(table.columns, row))
+        assert values["PIS candidates"] <= values["topoPrune candidates"]

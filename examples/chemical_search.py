@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Chemical substructure search with mutation-distance constraints.
+
+Reproduces the paper's motivating scenario (Example 1) and then scales it
+up: a synthetic screening library is indexed and queried with substructures
+sampled from it, comparing PIS against topoPrune and the naive scan.
+
+Run with::
+
+    python examples/chemical_search.py [--graphs 120] [--sigma 2]
+"""
+
+import argparse
+import time
+
+from repro import (
+    ExhaustiveFeatureSelector,
+    FragmentIndex,
+    NaiveSearch,
+    PISearch,
+    QueryWorkload,
+    TopoPruneSearch,
+    default_edge_mutation_distance,
+    example_database,
+    figure2_query,
+    generate_chemical_database,
+    minimum_superimposed_distance,
+)
+
+
+def run_example1():
+    """The three-molecule example of Figure 1 / Figure 2."""
+    print("=== Example 1 (Figure 1 / Figure 2) ===")
+    database = example_database()
+    query = figure2_query()
+    measure = default_edge_mutation_distance()
+    for graph_id, graph in database.items():
+        distance = minimum_superimposed_distance(query, graph, measure)
+        print(f"  mutation distance to {graph.name}: {distance:g}")
+    features = ExhaustiveFeatureSelector(max_edges=3, min_support=0.5).select(database)
+    index = FragmentIndex(features, measure).build(database)
+    result = PISearch(index, database).search(query, sigma=1.9)
+    names = [database[graph_id].name for graph_id in result.answer_ids]
+    print(f"  graphs within distance < 2: {names}")
+    print()
+
+
+def run_screening(num_graphs, sigma, query_edges, num_queries):
+    """Index a synthetic screening library and compare the strategies."""
+    print(f"=== Synthetic screening library ({num_graphs} molecules) ===")
+    database = generate_chemical_database(num_graphs, seed=23)
+    measure = default_edge_mutation_distance()
+    stats = database.stats().as_dict()
+    print(f"  avg size: {stats['avg_vertices']} atoms / {stats['avg_edges']} bonds; "
+          f"{stats['dominant_vertex_label_share']:.0%} carbon, "
+          f"{stats['dominant_edge_label_share']:.0%} single bonds")
+
+    started = time.perf_counter()
+    features = ExhaustiveFeatureSelector(
+        max_edges=4, min_support=0.1, sample_size=30, max_features=150
+    ).select(database)
+    index = FragmentIndex(features, measure).build(database)
+    print(f"  index: {index.num_classes} structure classes, "
+          f"{index.stats().num_entries} entries, built in {time.perf_counter() - started:.1f}s")
+
+    workload = QueryWorkload(database, seed=5)
+    queries = workload.sample_queries(query_edges, num_queries)
+
+    pis = PISearch(index, database)
+    topo = TopoPruneSearch(index, database)
+    naive = NaiveSearch(database, measure)
+
+    print(f"  {num_queries} queries with {query_edges} edges, sigma = {sigma}")
+    print(f"  {'query':<7}{'answers':>8}{'naive cand.':>12}{'topo cand.':>12}"
+          f"{'PIS cand.':>10}{'PIS time':>10}")
+    for position, query in enumerate(queries):
+        pis_result = pis.search(query, sigma)
+        topo_candidates = topo.candidates(query, sigma)
+        naive_result = naive.search(query, sigma)
+        assert set(naive_result.answer_ids) == set(pis_result.answer_ids)
+        print(f"  q{position:<6}{pis_result.num_answers:>8}{len(database):>12}"
+              f"{len(topo_candidates):>12}{pis_result.num_candidates:>10}"
+              f"{pis_result.total_seconds:>9.2f}s")
+    print("  (PIS answers verified identical to the naive scan for every query)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--graphs", type=int, default=120, help="database size")
+    parser.add_argument("--sigma", type=float, default=2.0, help="distance threshold")
+    parser.add_argument("--query-edges", type=int, default=12, help="query size in edges")
+    parser.add_argument("--queries", type=int, default=5, help="number of queries")
+    arguments = parser.parse_args()
+
+    run_example1()
+    run_screening(arguments.graphs, arguments.sigma, arguments.query_edges, arguments.queries)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Geometric (weighted) substructure search with the linear mutation distance.
+
+Example 3 of the paper: when graph elements carry numeric weights (bond
+lengths, distances, charges), the superimposed distance becomes the linear
+mutation distance LD = sum |w - w'| and the per-class index of choice is an
+R-tree over the fragments' weight vectors.  This example builds a weighted
+database, indexes it with the R-tree backend, and answers range queries,
+cross-checking the R-tree against the exhaustive linear-scan backend.
+
+Run with::
+
+    python examples/weighted_geometric_search.py
+"""
+
+import time
+
+from repro import (
+    FragmentIndex,
+    LinearMutationDistance,
+    NaiveSearch,
+    PathFeatureSelector,
+    PISearch,
+    QueryWorkload,
+    generate_weighted_database,
+)
+
+
+def main():
+    # --- 1. a weighted database ---------------------------------------------
+    database = generate_weighted_database(80, seed=31)
+    measure = LinearMutationDistance(include_vertices=False, include_edges=True)
+    print(f"database: {len(database)} weighted graphs "
+          f"(edge weights ~ bond lengths around 1.3-1.6)")
+
+    # --- 2. R-tree backed fragment index -------------------------------------
+    features = PathFeatureSelector(max_path_edges=3, include_cycles=True).select(database)
+    rtree_index = FragmentIndex(features, measure, backend="rtree").build(database)
+    linear_index = FragmentIndex(features, measure, backend="linear").build(database)
+    print(f"index: {rtree_index.num_classes} structure classes, "
+          f"{rtree_index.stats().num_entries} fragment vectors in R-trees")
+
+    # --- 3. range queries ------------------------------------------------------
+    # "Find graphs containing the query structure whose total edge-weight
+    #  deviation is at most sigma."
+    sigma = 0.4
+    queries = QueryWorkload(database, seed=8).sample_queries(num_edges=7, count=4)
+
+    pis_rtree = PISearch(rtree_index, database)
+    pis_linear = PISearch(linear_index, database)
+    naive = NaiveSearch(database, measure)
+
+    for position, query in enumerate(queries):
+        started = time.perf_counter()
+        rtree_result = pis_rtree.search(query, sigma)
+        rtree_seconds = time.perf_counter() - started
+        linear_candidates = pis_linear.candidates(query, sigma)
+        naive_result = naive.search(query, sigma)
+
+        assert rtree_result.candidate_ids == linear_candidates, (
+            "R-tree and linear-scan backends must produce identical candidates"
+        )
+        assert set(naive_result.answer_ids) == set(rtree_result.answer_ids), (
+            "PIS answers must match the naive scan"
+        )
+        print(f"query {position}: sigma={sigma}  "
+              f"candidates={rtree_result.num_candidates}/{len(database)}  "
+              f"answers={rtree_result.num_answers}  "
+              f"time={rtree_seconds:.2f}s  (R-tree == linear scan: ok)")
+
+    print("all queries verified against the naive scan "
+          "and the linear-scan reference backend")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+legacy editable installs (``pip install -e .``) work on environments without
+the ``wheel`` package (PEP 660 editable builds require it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,159 @@
+"""PIS — Partition-based Graph Index and Search.
+
+A complete, pure-Python implementation of the system described in
+"Searching Substructures with Superimposed Distance" (Yan, Zhu, Han, Yu —
+ICDE 2006): substructure search in graph databases under superimposed
+(mutation / linear mutation) distance constraints, using a fragment-based
+index and a partition-based search with a greedy MWIS partition.
+
+Quickstart
+----------
+>>> from repro import (
+...     generate_chemical_database, default_edge_mutation_distance,
+...     ExhaustiveFeatureSelector, FragmentIndex, PISearch, QueryWorkload,
+... )
+>>> db = generate_chemical_database(50, seed=1)
+>>> measure = default_edge_mutation_distance()
+>>> features = ExhaustiveFeatureSelector(max_edges=3, min_support=0.2).select(db)
+>>> index = FragmentIndex(features, measure).build(db)
+>>> query = QueryWorkload(db, seed=3).sample_queries(num_edges=8, count=1)[0]
+>>> result = PISearch(index, db).search(query, sigma=1)
+>>> result.num_answers <= result.num_candidates <= len(db)
+True
+"""
+
+from .core import (
+    DEFAULT_LABEL,
+    INFINITE_DISTANCE,
+    DatabaseStats,
+    DistanceMeasure,
+    Embedding,
+    GraphDatabase,
+    GraphStats,
+    LabeledGraph,
+    LinearMutationDistance,
+    MutationDistance,
+    MutationScoreMatrix,
+    PISError,
+    SuperpositionResult,
+    automorphisms,
+    best_superposition,
+    default_edge_mutation_distance,
+    find_embeddings,
+    graph_pair_distance,
+    has_embedding,
+    is_isomorphic,
+    is_subgraph,
+    iter_embeddings,
+    labeled_code,
+    min_dfs_code,
+    minimum_superimposed_distance,
+    structure_code,
+    within_distance,
+)
+from .datasets import (
+    ChemicalGeneratorConfig,
+    ChemicalGraphGenerator,
+    QueryWorkload,
+    WeightedGraphGenerator,
+    example_database,
+    figure2_query,
+    generate_chemical_database,
+    generate_weighted_database,
+)
+from .index import (
+    EquivalenceClassIndex,
+    FragmentIndex,
+    FragmentSequencer,
+    IndexStats,
+    QueryFragment,
+    load_index,
+    save_index,
+)
+from .mining import (
+    ExhaustiveFeatureSelector,
+    FeatureSelector,
+    FrequentStructureMiner,
+    GIndexFeatureSelector,
+    GSpanFeatureSelector,
+    PathFeatureSelector,
+)
+from .search import (
+    ExactTopoPruneSearch,
+    NaiveSearch,
+    PISearch,
+    SearchResult,
+    TopoPruneSearch,
+    enhanced_greedy_mwis,
+    exact_mwis,
+    greedy_mwis,
+    select_partition,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "LabeledGraph",
+    "GraphDatabase",
+    "GraphStats",
+    "DatabaseStats",
+    "Embedding",
+    "DistanceMeasure",
+    "MutationDistance",
+    "MutationScoreMatrix",
+    "LinearMutationDistance",
+    "default_edge_mutation_distance",
+    "SuperpositionResult",
+    "minimum_superimposed_distance",
+    "best_superposition",
+    "within_distance",
+    "graph_pair_distance",
+    "INFINITE_DISTANCE",
+    "DEFAULT_LABEL",
+    "PISError",
+    "iter_embeddings",
+    "find_embeddings",
+    "has_embedding",
+    "is_subgraph",
+    "is_isomorphic",
+    "automorphisms",
+    "structure_code",
+    "labeled_code",
+    "min_dfs_code",
+    # index
+    "FragmentIndex",
+    "FragmentSequencer",
+    "EquivalenceClassIndex",
+    "QueryFragment",
+    "IndexStats",
+    "save_index",
+    "load_index",
+    # mining
+    "FeatureSelector",
+    "PathFeatureSelector",
+    "ExhaustiveFeatureSelector",
+    "FrequentStructureMiner",
+    "GSpanFeatureSelector",
+    "GIndexFeatureSelector",
+    # search
+    "PISearch",
+    "NaiveSearch",
+    "TopoPruneSearch",
+    "ExactTopoPruneSearch",
+    "SearchResult",
+    "greedy_mwis",
+    "enhanced_greedy_mwis",
+    "exact_mwis",
+    "select_partition",
+    # datasets
+    "ChemicalGraphGenerator",
+    "ChemicalGeneratorConfig",
+    "WeightedGraphGenerator",
+    "generate_chemical_database",
+    "generate_weighted_database",
+    "QueryWorkload",
+    "example_database",
+    "figure2_query",
+]

@@ -1,0 +1,185 @@
+"""Command-line interface for the PIS library.
+
+Subcommands
+-----------
+``generate``
+    Generate a synthetic chemical-like database and write it to JSON.
+``index``
+    Build a fragment index over a database file and save it to JSON.
+``query``
+    Answer SSSD queries against a database + index, comparing PIS with the
+    baselines.
+``stats``
+    Print database / index statistics.
+``experiments``
+    Regenerate the EXPERIMENTS.md report (same as
+    ``python -m repro.experiments.run_all``).
+
+Example session::
+
+    pis generate --count 200 --output db.json
+    pis index --database db.json --max-edges 5 --output index.json
+    pis query --database db.json --index index.json --edges 12 --sigma 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core.database import GraphDatabase
+from .core.distance import default_edge_mutation_distance
+from .datasets.generator import generate_chemical_database
+from .datasets.queries import QueryWorkload
+from .index.fragment_index import FragmentIndex
+from .index.persistence import load_index, save_index
+from .mining.exhaustive import ExhaustiveFeatureSelector
+from .search.baselines import NaiveSearch, TopoPruneSearch
+from .search.pis import PISearch
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``pis`` command."""
+    parser = argparse.ArgumentParser(
+        prog="pis",
+        description="Partition-based graph index and search (ICDE 2006 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic database")
+    generate.add_argument("--count", type=int, default=200, help="number of graphs")
+    generate.add_argument("--seed", type=int, default=7, help="generator seed")
+    generate.add_argument("--output", type=Path, required=True, help="output JSON path")
+
+    index = subparsers.add_parser("index", help="build a fragment index")
+    index.add_argument("--database", type=Path, required=True, help="database JSON path")
+    index.add_argument("--max-edges", type=int, default=4, help="max fragment size")
+    index.add_argument("--min-support", type=float, default=0.08, help="feature support")
+    index.add_argument("--max-features", type=int, default=250, help="feature cap")
+    index.add_argument("--backend", default="trie", help="per-class backend")
+    index.add_argument("--output", type=Path, required=True, help="output JSON path")
+
+    query = subparsers.add_parser("query", help="run SSSD queries")
+    query.add_argument("--database", type=Path, required=True, help="database JSON path")
+    query.add_argument("--index", type=Path, required=True, help="index JSON path")
+    query.add_argument("--edges", type=int, default=12, help="query size (edges)")
+    query.add_argument("--count", type=int, default=3, help="number of queries")
+    query.add_argument("--sigma", type=float, default=2.0, help="distance threshold")
+    query.add_argument("--seed", type=int, default=42, help="query sampling seed")
+    query.add_argument(
+        "--compare-naive",
+        action="store_true",
+        help="also run the naive scan (slow) to cross-check the answers",
+    )
+
+    stats = subparsers.add_parser("stats", help="print database / index statistics")
+    stats.add_argument("--database", type=Path, help="database JSON path")
+    stats.add_argument("--index", type=Path, help="index JSON path")
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate the EXPERIMENTS.md report"
+    )
+    experiments.add_argument("--quick", action="store_true", help="reduced configuration")
+    experiments.add_argument(
+        "--output", type=Path, default=Path("EXPERIMENTS.md"), help="report path"
+    )
+    return parser
+
+
+def _command_generate(arguments: argparse.Namespace) -> int:
+    database = generate_chemical_database(arguments.count, seed=arguments.seed)
+    database.save(arguments.output)
+    print(f"wrote {len(database)} graphs to {arguments.output}")
+    print(json.dumps(database.stats().as_dict(), indent=2))
+    return 0
+
+
+def _command_index(arguments: argparse.Namespace) -> int:
+    database = GraphDatabase.load(arguments.database)
+    measure = default_edge_mutation_distance()
+    selector = ExhaustiveFeatureSelector(
+        max_edges=arguments.max_edges,
+        min_support=arguments.min_support,
+        max_features=arguments.max_features,
+        sample_size=min(50, len(database)),
+    )
+    features = selector.select(database)
+    index = FragmentIndex(features, measure, backend=arguments.backend).build(database)
+    save_index(index, arguments.output)
+    print(f"indexed {len(database)} graphs with {index.num_classes} structure classes")
+    print(json.dumps(index.stats().as_dict(), indent=2))
+    return 0
+
+
+def _command_query(arguments: argparse.Namespace) -> int:
+    database = GraphDatabase.load(arguments.database)
+    index = load_index(arguments.index)
+    workload = QueryWorkload(database, seed=arguments.seed)
+    queries = workload.sample_queries(arguments.edges, arguments.count)
+
+    pis = PISearch(index, database)
+    topo = TopoPruneSearch(index, database)
+    naive = NaiveSearch(database, index.measure) if arguments.compare_naive else None
+
+    for position, query in enumerate(queries):
+        pis_result = pis.search(query, arguments.sigma)
+        yt = len(topo.candidates(query, arguments.sigma))
+        line = (
+            f"query {position}: answers={pis_result.num_answers} "
+            f"PIS candidates={pis_result.num_candidates} topoPrune candidates={yt} "
+            f"prune={pis_result.prune_seconds:.3f}s verify={pis_result.verify_seconds:.3f}s"
+        )
+        if naive is not None:
+            naive_result = naive.search(query, arguments.sigma)
+            agreement = set(naive_result.answer_ids) == set(pis_result.answer_ids)
+            line += f" naive-agrees={agreement}"
+        print(line)
+    return 0
+
+
+def _command_stats(arguments: argparse.Namespace) -> int:
+    if arguments.database is None and arguments.index is None:
+        print("nothing to report: pass --database and/or --index", file=sys.stderr)
+        return 2
+    if arguments.database is not None:
+        database = GraphDatabase.load(arguments.database)
+        print("database:")
+        print(json.dumps(database.stats().as_dict(), indent=2))
+    if arguments.index is not None:
+        index = load_index(arguments.index)
+        print("index:")
+        print(json.dumps(index.stats().as_dict(), indent=2))
+    return 0
+
+
+def _command_experiments(arguments: argparse.Namespace) -> int:
+    from .experiments.run_all import generate_report, quick_config
+    from .experiments.config import paper_scaled_config
+
+    configuration = quick_config() if arguments.quick else paper_scaled_config()
+    generate_report(configuration, output=arguments.output, echo=True)
+    print(f"wrote {arguments.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``pis`` console script."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "index": _command_index,
+        "query": _command_query,
+        "stats": _command_stats,
+        "experiments": _command_experiments,
+    }
+    return handlers[arguments.command](arguments)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

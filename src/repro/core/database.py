@@ -1,0 +1,173 @@
+"""Graph database container.
+
+The SSSD problem is posed over a *graph database* ``D = {G1, ..., Gn}``.
+:class:`GraphDatabase` is a thin, ordered container that assigns each graph
+a stable integer identifier (the paper's implementation likewise stores only
+graph identifiers in the index, never the graphs themselves), exposes
+aggregate statistics used by the experiment reports, and supports JSON
+persistence.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from .errors import DatasetError
+from .graph import LabeledGraph
+
+__all__ = ["GraphDatabase", "DatabaseStats"]
+
+
+class DatabaseStats:
+    """Aggregate statistics of a graph database (Section 7 style report)."""
+
+    def __init__(self, database: "GraphDatabase"):
+        sizes_v = [g.num_vertices for g in database]
+        sizes_e = [g.num_edges for g in database]
+        vertex_labels: Dict[Any, int] = {}
+        edge_labels: Dict[Any, int] = {}
+        for g in database:
+            for v in g.vertices():
+                label = g.vertex_label(v)
+                vertex_labels[label] = vertex_labels.get(label, 0) + 1
+            for (u, v) in g.edges():
+                label = g.edge_label(u, v)
+                edge_labels[label] = edge_labels.get(label, 0) + 1
+        self.num_graphs = len(database)
+        self.avg_vertices = sum(sizes_v) / len(sizes_v) if sizes_v else 0.0
+        self.avg_edges = sum(sizes_e) / len(sizes_e) if sizes_e else 0.0
+        self.max_vertices = max(sizes_v, default=0)
+        self.max_edges = max(sizes_e, default=0)
+        self.min_vertices = min(sizes_v, default=0)
+        self.min_edges = min(sizes_e, default=0)
+        self.vertex_label_counts = vertex_labels
+        self.edge_label_counts = edge_labels
+
+    def dominant_vertex_label(self) -> Optional[Any]:
+        """Return the most frequent vertex label (``None`` for an empty DB)."""
+        if not self.vertex_label_counts:
+            return None
+        return max(self.vertex_label_counts, key=self.vertex_label_counts.get)
+
+    def dominant_edge_label(self) -> Optional[Any]:
+        """Return the most frequent edge label (``None`` for an empty DB)."""
+        if not self.edge_label_counts:
+            return None
+        return max(self.edge_label_counts, key=self.edge_label_counts.get)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return the statistics as a JSON-serializable dictionary."""
+        total_v = sum(self.vertex_label_counts.values()) or 1
+        total_e = sum(self.edge_label_counts.values()) or 1
+        dominant_v = self.dominant_vertex_label()
+        dominant_e = self.dominant_edge_label()
+        return {
+            "num_graphs": self.num_graphs,
+            "avg_vertices": round(self.avg_vertices, 2),
+            "avg_edges": round(self.avg_edges, 2),
+            "max_vertices": self.max_vertices,
+            "max_edges": self.max_edges,
+            "min_vertices": self.min_vertices,
+            "min_edges": self.min_edges,
+            "num_vertex_labels": len(self.vertex_label_counts),
+            "num_edge_labels": len(self.edge_label_counts),
+            "dominant_vertex_label": dominant_v,
+            "dominant_vertex_label_share": round(
+                self.vertex_label_counts.get(dominant_v, 0) / total_v, 3
+            ),
+            "dominant_edge_label": dominant_e,
+            "dominant_edge_label_share": round(
+                self.edge_label_counts.get(dominant_e, 0) / total_e, 3
+            ),
+        }
+
+
+class GraphDatabase:
+    """An ordered collection of labeled graphs with stable integer ids.
+
+    Examples
+    --------
+    >>> db = GraphDatabase()
+    >>> g = LabeledGraph(name="methane-ish")
+    >>> _ = g.add_vertex(0, label="C")
+    >>> gid = db.add(g)
+    >>> db[gid] is g
+    True
+    >>> len(db)
+    1
+    """
+
+    def __init__(self, graphs: Optional[Iterable[LabeledGraph]] = None, name: str = ""):
+        self.name = name
+        self._graphs: List[LabeledGraph] = []
+        if graphs is not None:
+            for graph in graphs:
+                self.add(graph)
+
+    def add(self, graph: LabeledGraph) -> int:
+        """Add a graph and return its integer identifier."""
+        if not isinstance(graph, LabeledGraph):
+            raise DatasetError(f"expected LabeledGraph, got {type(graph).__name__}")
+        self._graphs.append(graph)
+        return len(self._graphs) - 1
+
+    def extend(self, graphs: Iterable[LabeledGraph]) -> List[int]:
+        """Add several graphs; return their identifiers."""
+        return [self.add(graph) for graph in graphs]
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __iter__(self) -> Iterator[LabeledGraph]:
+        return iter(self._graphs)
+
+    def __getitem__(self, graph_id: int) -> LabeledGraph:
+        try:
+            return self._graphs[graph_id]
+        except IndexError as exc:
+            raise DatasetError(f"graph id {graph_id} out of range") from exc
+
+    def items(self) -> Iterator[Tuple[int, LabeledGraph]]:
+        """Iterate over ``(graph_id, graph)`` pairs."""
+        return iter(enumerate(self._graphs))
+
+    def graph_ids(self) -> range:
+        """Return the range of valid graph identifiers."""
+        return range(len(self._graphs))
+
+    def stats(self) -> DatabaseStats:
+        """Return aggregate statistics for reporting."""
+        return DatabaseStats(self)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-serializable representation of the database."""
+        return {
+            "name": self.name,
+            "graphs": [graph.to_dict() for graph in self._graphs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GraphDatabase":
+        """Rebuild a database from :meth:`to_dict` output."""
+        db = cls(name=data.get("name", ""))
+        for graph_data in data.get("graphs", []):
+            db.add(LabeledGraph.from_dict(graph_data))
+        return db
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the database to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict()), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "GraphDatabase":
+        """Load a database previously written by :meth:`save`."""
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DatasetError(f"cannot load graph database from {path}: {exc}") from exc
+        return cls.from_dict(data)

@@ -1,0 +1,104 @@
+"""Exception hierarchy for the PIS library.
+
+Every error raised by the library derives from :class:`PISError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PISError",
+    "GraphError",
+    "VertexNotFoundError",
+    "EdgeNotFoundError",
+    "DuplicateVertexError",
+    "DuplicateEdgeError",
+    "DistanceError",
+    "IncompatibleGraphsError",
+    "IndexError_",
+    "FeatureNotIndexedError",
+    "IndexNotBuiltError",
+    "PartitionError",
+    "DatasetError",
+    "SerializationError",
+]
+
+
+class PISError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(PISError):
+    """Base class for errors related to graph construction or access."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex id was referenced that does not exist in the graph."""
+
+    def __init__(self, vertex):
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge was referenced that does not exist in the graph."""
+
+    def __init__(self, u, v):
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class DuplicateVertexError(GraphError, ValueError):
+    """A vertex id was added twice to the same graph."""
+
+    def __init__(self, vertex):
+        super().__init__(f"vertex {vertex!r} already exists in the graph")
+        self.vertex = vertex
+
+
+class DuplicateEdgeError(GraphError, ValueError):
+    """An edge was added twice to the same graph."""
+
+    def __init__(self, u, v):
+        super().__init__(f"edge ({u!r}, {v!r}) already exists in the graph")
+        self.edge = (u, v)
+
+
+class DistanceError(PISError):
+    """Base class for errors raised by superimposed distance measures."""
+
+
+class IncompatibleGraphsError(DistanceError, ValueError):
+    """Two graphs passed to a superimposed distance are not isomorphic."""
+
+
+class IndexError_(PISError):
+    """Base class for errors raised by the fragment-based index.
+
+    The trailing underscore avoids shadowing the builtin :class:`IndexError`.
+    """
+
+
+class FeatureNotIndexedError(IndexError_, KeyError):
+    """A structural equivalence class was queried that is not indexed."""
+
+    def __init__(self, code):
+        super().__init__(f"structure code {code!r} is not indexed")
+        self.code = code
+
+
+class IndexNotBuiltError(IndexError_, RuntimeError):
+    """An operation requiring a built index was called before building it."""
+
+
+class PartitionError(PISError):
+    """A query-graph partition violated the vertex-disjointness constraint."""
+
+
+class DatasetError(PISError):
+    """Errors raised by dataset generators, loaders, and query samplers."""
+
+
+class SerializationError(PISError):
+    """Errors raised while (de)serializing graphs or indexes."""

@@ -1,0 +1,536 @@
+"""Labeled, undirected graph model used throughout the PIS library.
+
+The paper works with *labeled graphs*: vertices and edges carry categorical
+labels (atom and bond types for chemical data) and, for the linear mutation
+distance, numeric weights.  Subgraph isomorphism in the paper is computed on
+the *skeleton* (structure without labels); labels only enter through the
+superimposed distance measure.  :class:`LabeledGraph` therefore keeps labels
+and weights as separate, optional annotations on top of an adjacency
+structure.
+
+Vertices are identified by hashable ids (typically small integers).  Edges
+are undirected and stored once per endpoint pair, keyed by the canonical
+``(min(u, v), max(u, v))`` tuple for ids that support ordering; arbitrary
+hashable ids are supported through a total order on ``repr``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .errors import (
+    DuplicateEdgeError,
+    DuplicateVertexError,
+    EdgeNotFoundError,
+    VertexNotFoundError,
+)
+
+__all__ = ["LabeledGraph", "edge_key", "GraphStats"]
+
+VertexId = Hashable
+EdgeKey = Tuple[Hashable, Hashable]
+
+#: Label used when a vertex or edge has no explicit label.  Keeping a single
+#: shared sentinel (rather than ``None``) makes label sequences serializable.
+DEFAULT_LABEL = "*"
+
+
+def edge_key(u: VertexId, v: VertexId) -> EdgeKey:
+    """Return the canonical undirected key for the edge ``(u, v)``.
+
+    The key is order-independent: ``edge_key(a, b) == edge_key(b, a)``.
+    Vertex ids that are mutually orderable are ordered directly; otherwise
+    the tie is broken on ``(type name, repr)`` so that any two hashable ids
+    receive a deterministic, symmetric key.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        a = (type(u).__name__, repr(u))
+        b = (type(v).__name__, repr(v))
+        return (u, v) if a <= b else (v, u)
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a single graph (used by dataset reports)."""
+
+    num_vertices: int
+    num_edges: int
+    num_vertex_labels: int
+    num_edge_labels: int
+    max_degree: int
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the statistics as a plain dictionary."""
+        return {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "num_vertex_labels": self.num_vertex_labels,
+            "num_edge_labels": self.num_edge_labels,
+            "max_degree": self.max_degree,
+        }
+
+
+class LabeledGraph:
+    """An undirected graph with categorical labels and optional weights.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable name (e.g. a compound identifier).
+
+    Examples
+    --------
+    >>> g = LabeledGraph(name="triangle")
+    >>> for v in range(3):
+    ...     g.add_vertex(v, label="C")
+    >>> g.add_edge(0, 1, label="single")
+    >>> g.add_edge(1, 2, label="double")
+    >>> g.add_edge(0, 2, label="single")
+    >>> g.num_vertices, g.num_edges
+    (3, 3)
+    >>> g.edge_label(2, 1)
+    'double'
+    """
+
+    __slots__ = (
+        "name",
+        "_adjacency",
+        "_vertex_labels",
+        "_edge_labels",
+        "_vertex_weights",
+        "_edge_weights",
+    )
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._adjacency: Dict[VertexId, Set[VertexId]] = {}
+        self._vertex_labels: Dict[VertexId, Any] = {}
+        self._edge_labels: Dict[EdgeKey, Any] = {}
+        self._vertex_weights: Dict[VertexId, float] = {}
+        self._edge_weights: Dict[EdgeKey, float] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(
+        self,
+        vertex: VertexId,
+        label: Any = DEFAULT_LABEL,
+        weight: Optional[float] = None,
+    ) -> VertexId:
+        """Add a vertex with an optional label and numeric weight.
+
+        Raises
+        ------
+        DuplicateVertexError
+            If the vertex id already exists.
+        """
+        if vertex in self._adjacency:
+            raise DuplicateVertexError(vertex)
+        self._adjacency[vertex] = set()
+        self._vertex_labels[vertex] = label
+        if weight is not None:
+            self._vertex_weights[vertex] = float(weight)
+        return vertex
+
+    def add_edge(
+        self,
+        u: VertexId,
+        v: VertexId,
+        label: Any = DEFAULT_LABEL,
+        weight: Optional[float] = None,
+    ) -> EdgeKey:
+        """Add an undirected edge ``(u, v)`` with an optional label/weight.
+
+        Both endpoints must already exist.  Self-loops are rejected because
+        the paper's chemical graphs (and its distance measures) never use
+        them; the NP-hardness reduction in the paper uses self-loops only as
+        a gadget, which we do not need to execute.
+
+        Raises
+        ------
+        VertexNotFoundError
+            If either endpoint is missing.
+        DuplicateEdgeError
+            If the edge already exists.
+        ValueError
+            If ``u == v`` (self-loop).
+        """
+        if u not in self._adjacency:
+            raise VertexNotFoundError(u)
+        if v not in self._adjacency:
+            raise VertexNotFoundError(v)
+        if u == v:
+            raise ValueError("self-loops are not supported")
+        key = edge_key(u, v)
+        if key in self._edge_labels:
+            raise DuplicateEdgeError(u, v)
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._edge_labels[key] = label
+        if weight is not None:
+            self._edge_weights[key] = float(weight)
+        return key
+
+    def remove_vertex(self, vertex: VertexId) -> None:
+        """Remove a vertex and all its incident edges."""
+        if vertex not in self._adjacency:
+            raise VertexNotFoundError(vertex)
+        for neighbor in list(self._adjacency[vertex]):
+            self.remove_edge(vertex, neighbor)
+        del self._adjacency[vertex]
+        del self._vertex_labels[vertex]
+        self._vertex_weights.pop(vertex, None)
+
+    def remove_edge(self, u: VertexId, v: VertexId) -> None:
+        """Remove the undirected edge ``(u, v)``."""
+        key = edge_key(u, v)
+        if key not in self._edge_labels:
+            raise EdgeNotFoundError(u, v)
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        del self._edge_labels[key]
+        self._edge_weights.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self._edge_labels)
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __contains__(self, vertex: VertexId) -> bool:
+        return vertex in self._adjacency
+
+    def vertices(self) -> Iterator[VertexId]:
+        """Iterate over vertex ids."""
+        return iter(self._adjacency)
+
+    def edges(self) -> Iterator[EdgeKey]:
+        """Iterate over canonical edge keys ``(u, v)``."""
+        return iter(self._edge_labels)
+
+    def has_edge(self, u: VertexId, v: VertexId) -> bool:
+        """Return ``True`` if the undirected edge ``(u, v)`` exists."""
+        return edge_key(u, v) in self._edge_labels
+
+    def neighbors(self, vertex: VertexId) -> Set[VertexId]:
+        """Return the set of neighbors of ``vertex``."""
+        if vertex not in self._adjacency:
+            raise VertexNotFoundError(vertex)
+        return set(self._adjacency[vertex])
+
+    def degree(self, vertex: VertexId) -> int:
+        """Return the degree of ``vertex``."""
+        if vertex not in self._adjacency:
+            raise VertexNotFoundError(vertex)
+        return len(self._adjacency[vertex])
+
+    def vertex_label(self, vertex: VertexId) -> Any:
+        """Return the label of ``vertex``."""
+        if vertex not in self._vertex_labels:
+            raise VertexNotFoundError(vertex)
+        return self._vertex_labels[vertex]
+
+    def edge_label(self, u: VertexId, v: VertexId) -> Any:
+        """Return the label of the edge ``(u, v)``."""
+        key = edge_key(u, v)
+        if key not in self._edge_labels:
+            raise EdgeNotFoundError(u, v)
+        return self._edge_labels[key]
+
+    def vertex_weight(self, vertex: VertexId, default: float = 0.0) -> float:
+        """Return the numeric weight of ``vertex`` (``default`` if unset)."""
+        if vertex not in self._adjacency:
+            raise VertexNotFoundError(vertex)
+        return self._vertex_weights.get(vertex, default)
+
+    def edge_weight(self, u: VertexId, v: VertexId, default: float = 0.0) -> float:
+        """Return the numeric weight of edge ``(u, v)`` (``default`` if unset)."""
+        key = edge_key(u, v)
+        if key not in self._edge_labels:
+            raise EdgeNotFoundError(u, v)
+        return self._edge_weights.get(key, default)
+
+    def set_vertex_label(self, vertex: VertexId, label: Any) -> None:
+        """Replace the label of ``vertex``."""
+        if vertex not in self._vertex_labels:
+            raise VertexNotFoundError(vertex)
+        self._vertex_labels[vertex] = label
+
+    def set_edge_label(self, u: VertexId, v: VertexId, label: Any) -> None:
+        """Replace the label of edge ``(u, v)``."""
+        key = edge_key(u, v)
+        if key not in self._edge_labels:
+            raise EdgeNotFoundError(u, v)
+        self._edge_labels[key] = label
+
+    def set_vertex_weight(self, vertex: VertexId, weight: float) -> None:
+        """Replace the weight of ``vertex``."""
+        if vertex not in self._adjacency:
+            raise VertexNotFoundError(vertex)
+        self._vertex_weights[vertex] = float(weight)
+
+    def set_edge_weight(self, u: VertexId, v: VertexId, weight: float) -> None:
+        """Replace the weight of edge ``(u, v)``."""
+        key = edge_key(u, v)
+        if key not in self._edge_labels:
+            raise EdgeNotFoundError(u, v)
+        self._edge_weights[key] = float(weight)
+
+    def vertex_labels(self) -> Dict[VertexId, Any]:
+        """Return a copy of the vertex-label mapping."""
+        return dict(self._vertex_labels)
+
+    def edge_labels(self) -> Dict[EdgeKey, Any]:
+        """Return a copy of the edge-label mapping."""
+        return dict(self._edge_labels)
+
+    def stats(self) -> GraphStats:
+        """Return :class:`GraphStats` describing this graph."""
+        max_degree = max((len(n) for n in self._adjacency.values()), default=0)
+        return GraphStats(
+            num_vertices=self.num_vertices,
+            num_edges=self.num_edges,
+            num_vertex_labels=len(set(self._vertex_labels.values())),
+            num_edge_labels=len(set(self._edge_labels.values())),
+            max_degree=max_degree,
+        )
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "LabeledGraph":
+        """Return a deep copy of this graph."""
+        other = LabeledGraph(name=self.name if name is None else name)
+        other._adjacency = {v: set(n) for v, n in self._adjacency.items()}
+        other._vertex_labels = dict(self._vertex_labels)
+        other._edge_labels = dict(self._edge_labels)
+        other._vertex_weights = dict(self._vertex_weights)
+        other._edge_weights = dict(self._edge_weights)
+        return other
+
+    def subgraph(self, vertices: Iterable[VertexId]) -> "LabeledGraph":
+        """Return the subgraph induced by ``vertices`` (labels preserved)."""
+        selected = set(vertices)
+        missing = selected - set(self._adjacency)
+        if missing:
+            raise VertexNotFoundError(next(iter(missing)))
+        sub = LabeledGraph(name=self.name)
+        for v in selected:
+            sub.add_vertex(
+                v,
+                label=self._vertex_labels[v],
+                weight=self._vertex_weights.get(v),
+            )
+        for (u, v), label in self._edge_labels.items():
+            if u in selected and v in selected:
+                sub.add_edge(u, v, label=label, weight=self._edge_weights.get((u, v)))
+        return sub
+
+    def edge_subgraph(self, edges: Iterable[EdgeKey]) -> "LabeledGraph":
+        """Return the subgraph spanned by ``edges`` (labels preserved)."""
+        sub = LabeledGraph(name=self.name)
+        for u, v in edges:
+            key = edge_key(u, v)
+            if key not in self._edge_labels:
+                raise EdgeNotFoundError(u, v)
+            for endpoint in key:
+                if endpoint not in sub:
+                    sub.add_vertex(
+                        endpoint,
+                        label=self._vertex_labels[endpoint],
+                        weight=self._vertex_weights.get(endpoint),
+                    )
+            sub.add_edge(
+                key[0],
+                key[1],
+                label=self._edge_labels[key],
+                weight=self._edge_weights.get(key),
+            )
+        return sub
+
+    def relabeled(self, mapping: Dict[VertexId, VertexId]) -> "LabeledGraph":
+        """Return a copy with vertex ids renamed according to ``mapping``.
+
+        Every vertex must appear in ``mapping`` and the mapping must be
+        injective.  Labels and weights are carried over unchanged.
+        """
+        if set(mapping) != set(self._adjacency):
+            raise ValueError("mapping must cover exactly the vertex set")
+        if len(set(mapping.values())) != len(mapping):
+            raise ValueError("mapping must be injective")
+        out = LabeledGraph(name=self.name)
+        for v in self._adjacency:
+            out.add_vertex(
+                mapping[v],
+                label=self._vertex_labels[v],
+                weight=self._vertex_weights.get(v),
+            )
+        for (u, v), label in self._edge_labels.items():
+            out.add_edge(
+                mapping[u],
+                mapping[v],
+                label=label,
+                weight=self._edge_weights.get((u, v)),
+            )
+        return out
+
+    def skeleton(self) -> "LabeledGraph":
+        """Return a copy with all labels replaced by the default label.
+
+        The skeleton (the paper calls it the *structure* or *topology*) is
+        what subgraph isomorphism and canonical codes operate on.
+        """
+        out = LabeledGraph(name=self.name)
+        for v in self._adjacency:
+            out.add_vertex(v, label=DEFAULT_LABEL)
+        for (u, v) in self._edge_labels:
+            out.add_edge(u, v, label=DEFAULT_LABEL)
+        return out
+
+    # ------------------------------------------------------------------
+    # connectivity helpers
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Return ``True`` if the graph is connected (empty graph counts)."""
+        if not self._adjacency:
+            return True
+        start = next(iter(self._adjacency))
+        seen = {start}
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            for w in self._adjacency[v]:
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return len(seen) == len(self._adjacency)
+
+    def connected_components(self) -> List[Set[VertexId]]:
+        """Return the list of connected components as vertex sets."""
+        remaining = set(self._adjacency)
+        components: List[Set[VertexId]] = []
+        while remaining:
+            start = next(iter(remaining))
+            seen = {start}
+            stack = [start]
+            while stack:
+                v = stack.pop()
+                for w in self._adjacency[v]:
+                    if w not in seen:
+                        seen.add(w)
+                        stack.append(w)
+            components.append(seen)
+            remaining -= seen
+        return components
+
+    # ------------------------------------------------------------------
+    # equality / hashing / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Structural equality on identical vertex ids, labels and weights.
+
+        Note this is *not* isomorphism: two isomorphic graphs with different
+        vertex ids are not ``==``.  Use :mod:`repro.core.isomorphism` for
+        isomorphism checks.
+        """
+        if not isinstance(other, LabeledGraph):
+            return NotImplemented
+        return (
+            self._adjacency == other._adjacency
+            and self._vertex_labels == other._vertex_labels
+            and self._edge_labels == other._edge_labels
+            and self._vertex_weights == other._vertex_weights
+            and self._edge_weights == other._edge_weights
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<LabeledGraph{label} |V|={self.num_vertices} |E|={self.num_edges}>"
+        )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-serializable dictionary representation."""
+        return {
+            "name": self.name,
+            "vertices": [
+                {
+                    "id": v,
+                    "label": self._vertex_labels[v],
+                    "weight": self._vertex_weights.get(v),
+                }
+                for v in self._adjacency
+            ],
+            "edges": [
+                {
+                    "u": u,
+                    "v": v,
+                    "label": label,
+                    "weight": self._edge_weights.get((u, v)),
+                }
+                for (u, v), label in self._edge_labels.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LabeledGraph":
+        """Rebuild a graph from :meth:`to_dict` output."""
+        graph = cls(name=data.get("name", ""))
+        for vertex in data.get("vertices", []):
+            graph.add_vertex(
+                vertex["id"], label=vertex.get("label", DEFAULT_LABEL),
+                weight=vertex.get("weight"),
+            )
+        for edge in data.get("edges", []):
+            graph.add_edge(
+                edge["u"], edge["v"], label=edge.get("label", DEFAULT_LABEL),
+                weight=edge.get("weight"),
+            )
+        return graph
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[VertexId, VertexId]],
+        vertex_labels: Optional[Dict[VertexId, Any]] = None,
+        edge_labels: Optional[Dict[EdgeKey, Any]] = None,
+        name: str = "",
+    ) -> "LabeledGraph":
+        """Build a graph from an edge list with optional label mappings.
+
+        Vertices are created on first use.  ``edge_labels`` keys may be in
+        either endpoint order.
+        """
+        vertex_labels = vertex_labels or {}
+        edge_labels = edge_labels or {}
+        normalized_edge_labels = {
+            edge_key(u, v): label for (u, v), label in edge_labels.items()
+        }
+        graph = cls(name=name)
+        for u, v in edges:
+            for endpoint in (u, v):
+                if endpoint not in graph:
+                    graph.add_vertex(
+                        endpoint, label=vertex_labels.get(endpoint, DEFAULT_LABEL)
+                    )
+            graph.add_edge(
+                u, v, label=normalized_edge_labels.get(edge_key(u, v), DEFAULT_LABEL)
+            )
+        return graph

@@ -1,0 +1,37 @@
+"""Datasets: synthetic generators, example molecules, query workloads."""
+
+from .generator import (
+    ATOM_LABELS,
+    BOND_LABELS,
+    ChemicalGeneratorConfig,
+    ChemicalGraphGenerator,
+    WeightedGraphGenerator,
+    generate_chemical_database,
+    generate_weighted_database,
+)
+from .molecules import (
+    digitoxigenin_like,
+    example_database,
+    figure2_query,
+    indene_like,
+    omephine_like,
+)
+from .queries import QueryWorkload, mutate_edge_labels, sample_connected_subgraph
+
+__all__ = [
+    "ATOM_LABELS",
+    "BOND_LABELS",
+    "ChemicalGeneratorConfig",
+    "ChemicalGraphGenerator",
+    "WeightedGraphGenerator",
+    "generate_chemical_database",
+    "generate_weighted_database",
+    "indene_like",
+    "omephine_like",
+    "digitoxigenin_like",
+    "figure2_query",
+    "example_database",
+    "QueryWorkload",
+    "sample_connected_subgraph",
+    "mutate_edge_labels",
+]

@@ -1,0 +1,141 @@
+"""Hand-built example molecules (the paper's Figure 1 / Figure 2 scenario).
+
+The paper motivates SSSD with a three-molecule database — 1H-indene,
+omephine, and digitoxigenin — and a bicyclic query graph whose skeleton is
+contained in all three but whose edge labels differ.  The exact structures
+of the larger two molecules are not needed to reproduce the *behaviour* of
+Example 1; what matters is that, under the edge mutation distance:
+
+* molecule A (the 1H-indene stand-in) is at distance **1** from the query,
+* molecule B (the omephine stand-in) is at distance **3**,
+* molecule C (the digitoxigenin stand-in) is at distance **1** and carries
+  extra decorations (a second fused ring, a hydroxyl-like branch),
+
+so a query with threshold ``sigma < 2`` returns exactly {A, C} — the
+behaviour described below Example 1 in the paper.
+
+The distances are achieved by differing *six-ring* bond labels only: the
+query's six-ring is fully aromatic, and because every superposition of the
+fused-bicycle skeleton maps six-ring onto six-ring (the five-ring pins the
+shared edge), the number of non-aromatic six-ring bonds in a molecule is
+exactly its superimposed distance — immune to the mirror symmetry of the
+bicycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.database import GraphDatabase
+from ..core.graph import LabeledGraph
+
+__all__ = [
+    "indene_like",
+    "omephine_like",
+    "digitoxigenin_like",
+    "figure2_query",
+    "example_database",
+]
+
+#: Non-shared five-ring bonds used by the query and every stand-in molecule,
+#: so that all label differences are confined to the six-ring.
+_FIVE_RING_BONDS = ["single", "single", "double", "single"]
+
+
+def _fused_bicycle(
+    name: str,
+    six_ring_bonds: List[str],
+    five_ring_bonds: List[str],
+    atoms: Dict[int, str] = None,
+) -> LabeledGraph:
+    """Build a fused 6-ring + 5-ring system (indene skeleton).
+
+    Vertices 0-5 form the six-membered ring; vertices 4, 5, 6, 7, 8 form the
+    five-membered ring (sharing the 4–5 edge).  ``six_ring_bonds`` labels the
+    six ring bonds (0-1, 1-2, ..., 5-0); ``five_ring_bonds`` labels the four
+    non-shared bonds of the five-ring (5-6, 6-7, 7-8, 8-4).
+    """
+    graph = LabeledGraph(name=name)
+    atoms = atoms or {}
+    for vertex in range(9):
+        graph.add_vertex(vertex, label=atoms.get(vertex, "C"))
+    six_ring = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]
+    for (u, v), label in zip(six_ring, six_ring_bonds):
+        graph.add_edge(u, v, label=label)
+    five_ring = [(5, 6), (6, 7), (7, 8), (8, 4)]
+    for (u, v), label in zip(five_ring, five_ring_bonds):
+        graph.add_edge(u, v, label=label)
+    return graph
+
+
+def figure2_query() -> LabeledGraph:
+    """The query graph of Figure 2: an aromatic 6-ring fused with a 5-ring."""
+    return _fused_bicycle(
+        "figure2-query",
+        six_ring_bonds=["aromatic"] * 6,
+        five_ring_bonds=list(_FIVE_RING_BONDS),
+    )
+
+
+def indene_like() -> LabeledGraph:
+    """1H-indene stand-in: one six-ring bond is single, so distance 1."""
+    return _fused_bicycle(
+        "1H-indene",
+        six_ring_bonds=["single"] + ["aromatic"] * 5,
+        five_ring_bonds=list(_FIVE_RING_BONDS),
+    )
+
+
+def omephine_like() -> LabeledGraph:
+    """Omephine stand-in: three six-ring bonds are single, so distance 3."""
+    graph = _fused_bicycle(
+        "omephine",
+        six_ring_bonds=[
+            "single",
+            "aromatic",
+            "single",
+            "aromatic",
+            "single",
+            "aromatic",
+        ],
+        five_ring_bonds=list(_FIVE_RING_BONDS),
+        atoms={8: "O"},
+    )
+    # decorations: an ester-like tail hanging off the five-ring
+    graph.add_vertex(9, label="C")
+    graph.add_vertex(10, label="O")
+    graph.add_vertex(11, label="O")
+    graph.add_edge(7, 9, label="single")
+    graph.add_edge(9, 10, label="double")
+    graph.add_edge(9, 11, label="single")
+    return graph
+
+
+def digitoxigenin_like() -> LabeledGraph:
+    """Digitoxigenin stand-in: distance 1 from the query, extra ring attached."""
+    graph = _fused_bicycle(
+        "digitoxigenin",
+        six_ring_bonds=["aromatic"] * 5 + ["single"],
+        five_ring_bonds=list(_FIVE_RING_BONDS),
+    )
+    # a second saturated six-ring fused through the 2-3 bond, plus a hydroxyl
+    graph.add_vertex(9, label="C")
+    graph.add_vertex(10, label="C")
+    graph.add_vertex(11, label="C")
+    graph.add_vertex(12, label="C")
+    graph.add_edge(2, 9, label="single")
+    graph.add_edge(9, 10, label="single")
+    graph.add_edge(10, 11, label="single")
+    graph.add_edge(11, 12, label="single")
+    graph.add_edge(12, 3, label="single")
+    graph.add_vertex(13, label="O")
+    graph.add_edge(11, 13, label="single")
+    return graph
+
+
+def example_database() -> GraphDatabase:
+    """The three-molecule database of Figure 1 (stand-ins), in paper order."""
+    return GraphDatabase(
+        [indene_like(), omephine_like(), digitoxigenin_like()],
+        name="figure1-example",
+    )

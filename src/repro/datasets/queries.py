@@ -1,0 +1,150 @@
+"""Query workload generation.
+
+Section 7: "The query graphs are directly sampled from the database and are
+grouped together according to their size.  We denote a query set by Q_m,
+where m is the query graph size [in edges]."  This module reproduces that
+protocol: a query is a random connected, ``m``-edge subgraph of a randomly
+chosen database graph.  Optionally a controlled number of edge labels can be
+mutated afterwards, which is useful for examples and for tests that need
+queries at a known minimum distance from their source graph.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.database import GraphDatabase
+from ..core.errors import DatasetError
+from ..core.graph import LabeledGraph, edge_key
+
+__all__ = ["QueryWorkload", "sample_connected_subgraph", "mutate_edge_labels"]
+
+
+def sample_connected_subgraph(
+    graph: LabeledGraph, num_edges: int, rng: random.Random
+) -> Optional[LabeledGraph]:
+    """Sample a random connected subgraph with exactly ``num_edges`` edges.
+
+    Growth starts from a random edge and repeatedly adds a random edge
+    adjacent to the current subgraph.  Returns ``None`` when the graph has
+    fewer than ``num_edges`` edges or the growth gets stuck (possible only
+    if the source graph is disconnected).
+    """
+    if num_edges < 1:
+        raise ValueError("num_edges must be >= 1")
+    edges = list(graph.edges())
+    if len(edges) < num_edges:
+        return None
+    start = rng.choice(edges)
+    chosen = {start}
+    vertices = {start[0], start[1]}
+    while len(chosen) < num_edges:
+        frontier = []
+        for vertex in vertices:
+            for neighbor in graph.neighbors(vertex):
+                candidate = edge_key(vertex, neighbor)
+                if candidate not in chosen:
+                    frontier.append(candidate)
+        if not frontier:
+            return None
+        picked = rng.choice(frontier)
+        chosen.add(picked)
+        vertices.update(picked)
+    return graph.edge_subgraph(chosen)
+
+
+def mutate_edge_labels(
+    graph: LabeledGraph,
+    num_mutations: int,
+    alphabet: Sequence[str],
+    rng: random.Random,
+) -> LabeledGraph:
+    """Return a copy of ``graph`` with ``num_mutations`` edge labels changed.
+
+    Each mutated edge receives a label from ``alphabet`` different from its
+    current one; distinct edges are mutated, so the mutation distance from
+    the original is exactly ``num_mutations`` when the alphabet has at least
+    two symbols.
+    """
+    if num_mutations < 0:
+        raise ValueError("num_mutations must be >= 0")
+    edges = list(graph.edges())
+    if num_mutations > len(edges):
+        raise DatasetError("cannot mutate more edges than the graph has")
+    mutated = graph.copy()
+    for (u, v) in rng.sample(edges, num_mutations):
+        current = mutated.edge_label(u, v)
+        alternatives = [label for label in alphabet if label != current]
+        if not alternatives:
+            raise DatasetError("label alphabet too small to mutate an edge")
+        mutated.set_edge_label(u, v, rng.choice(alternatives))
+    return mutated
+
+
+@dataclass
+class QueryWorkload:
+    """Samples query sets Q_m from a database.
+
+    Parameters
+    ----------
+    database:
+        Source database.
+    seed:
+        Seed for reproducible sampling.
+    """
+
+    database: GraphDatabase
+    seed: int = 42
+
+    def sample_queries(
+        self,
+        num_edges: int,
+        count: int,
+        max_attempts_per_query: int = 50,
+    ) -> List[LabeledGraph]:
+        """Sample ``count`` connected ``num_edges``-edge query graphs.
+
+        Source graphs with too few edges are skipped; a
+        :class:`~repro.core.errors.DatasetError` is raised when the database
+        cannot supply enough queries.
+        """
+        rng = random.Random(self.seed + num_edges)
+        eligible = [
+            graph for graph in self.database if graph.num_edges >= num_edges
+        ]
+        if not eligible:
+            raise DatasetError(
+                f"no database graph has at least {num_edges} edges"
+            )
+        queries: List[LabeledGraph] = []
+        attempts = 0
+        while len(queries) < count:
+            attempts += 1
+            if attempts > max_attempts_per_query * count:
+                raise DatasetError(
+                    "could not sample enough connected query subgraphs; "
+                    "lower num_edges or enlarge the database"
+                )
+            source = rng.choice(eligible)
+            query = sample_connected_subgraph(source, num_edges, rng)
+            if query is None:
+                continue
+            query.name = f"Q{num_edges}-{len(queries)}"
+            queries.append(query)
+        return queries
+
+    def sample_mutated_queries(
+        self,
+        num_edges: int,
+        count: int,
+        num_mutations: int,
+        alphabet: Sequence[str],
+    ) -> List[LabeledGraph]:
+        """Sample queries and mutate a fixed number of edge labels in each."""
+        rng = random.Random(self.seed * 31 + num_edges)
+        return [
+            mutate_edge_labels(query, num_mutations, alphabet, rng)
+            for query in self.sample_queries(num_edges, count)
+        ]

@@ -1,0 +1,70 @@
+"""E0: dataset statistics report (Section 7's description of the test data).
+
+The paper describes its 10,000-graph sample as averaging 25 nodes and 27
+edges, with carbon atoms and carbon-carbon bonds dominating.  This module
+reports the same statistics for the synthetic substitute so EXPERIMENTS.md
+can show the substitution preserves the relevant dataset characteristics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .config import ExperimentConfig, paper_scaled_config
+from .harness import build_environment
+from .report import Table
+
+__all__ = ["dataset_statistics"]
+
+#: the statistics the paper reports for its AIDS-screen sample
+PAPER_REFERENCE = {
+    "num_graphs": 10000,
+    "avg_vertices": 25,
+    "avg_edges": 27,
+    "max_vertices": 214,
+    "max_edges": 217,
+    "dominant_vertex_label": "C (carbon)",
+    "dominant_edge_label": "single (C-C bond)",
+}
+
+
+def dataset_statistics(config: Optional[ExperimentConfig] = None) -> Table:
+    """Summarize the synthetic database next to the paper's dataset."""
+    environment = build_environment(config or paper_scaled_config())
+    stats = environment.database.stats().as_dict()
+    index_stats = environment.index.stats().as_dict()
+
+    table = Table(
+        title="Dataset and index statistics (paper vs synthetic substitute)",
+        columns=["quantity", "paper (AIDS sample)", "this reproduction"],
+        notes=[
+            "the synthetic generator matches the averages and label skew; the "
+            "absolute database size is scaled down for pure-Python runtimes",
+        ],
+    )
+    table.add_row(["graphs", PAPER_REFERENCE["num_graphs"], stats["num_graphs"]])
+    table.add_row(["avg vertices", PAPER_REFERENCE["avg_vertices"], stats["avg_vertices"]])
+    table.add_row(["avg edges", PAPER_REFERENCE["avg_edges"], stats["avg_edges"]])
+    table.add_row(["max vertices", PAPER_REFERENCE["max_vertices"], stats["max_vertices"]])
+    table.add_row(["max edges", PAPER_REFERENCE["max_edges"], stats["max_edges"]])
+    table.add_row(
+        [
+            "dominant vertex label (share)",
+            PAPER_REFERENCE["dominant_vertex_label"],
+            f"{stats['dominant_vertex_label']} ({stats['dominant_vertex_label_share']:.0%})",
+        ]
+    )
+    table.add_row(
+        [
+            "dominant edge label (share)",
+            PAPER_REFERENCE["dominant_edge_label"],
+            f"{stats['dominant_edge_label']} ({stats['dominant_edge_label_share']:.0%})",
+        ]
+    )
+    table.add_row(["indexed structures", "~2000 (gIndex features)", index_stats["num_classes"]])
+    table.add_row(
+        ["indexed fragment size (edges)", "up to 6 (Fig. 12 sweep 4-6)",
+         f"{index_stats['min_fragment_edges']}-{index_stats['max_fragment_edges']}"]
+    )
+    table.add_row(["index entries", "-", index_stats["num_entries"]])
+    return table

@@ -1,0 +1,110 @@
+"""Plain-text / Markdown rendering of experiment tables.
+
+Every figure of the paper is reproduced as a :class:`Table`: a row per
+query bucket (or per setting) and a column per data series.  Tables render
+as aligned plain text for the console and as Markdown for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["Table", "table_from_series"]
+
+
+def _format_value(value: Optional[float], digits: int = 1) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A small column-oriented table with a title and optional notes."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, values: Sequence[object]) -> None:
+        """Append one row (must match the number of columns)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    # ------------------------------------------------------------------
+    def to_text(self, digits: int = 1) -> str:
+        """Render as aligned plain text."""
+        rendered_rows = [
+            [_format_value(value, digits) if not isinstance(value, str) else value
+             for value in row]
+            for row in self.rows
+        ]
+        widths = [len(column) for column in self.columns]
+        for row in rendered_rows:
+            for position, cell in enumerate(row):
+                widths[position] = max(widths[position], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(
+            column.ljust(widths[position]) for position, column in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in rendered_rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[position]) for position, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self, digits: int = 1) -> str:
+        """Render as a Markdown table (with the title as a heading)."""
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join(["---"] * len(self.columns)) + "|")
+        for row in self.rows:
+            cells = [
+                _format_value(value, digits) if not isinstance(value, str) else value
+                for value in row
+            ]
+            lines.append("| " + " | ".join(cells) + " |")
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"*{note}*")
+        lines.append("")
+        return "\n".join(lines)
+
+    def column_series(self, column: str) -> List[object]:
+        """Return one column as a list (used by shape assertions in tests)."""
+        position = self.columns.index(column)
+        return [row[position] for row in self.rows]
+
+
+def table_from_series(
+    title: str,
+    series: Mapping[str, Mapping[str, Optional[float]]],
+    row_order: Sequence[str],
+    first_column: str = "query subset",
+    notes: Optional[Sequence[str]] = None,
+) -> Table:
+    """Build a :class:`Table` from ``{row_label: {column: value}}`` data."""
+    columns: List[str] = [first_column]
+    for label in row_order:
+        for column in series.get(label, {}):
+            if column not in columns:
+                columns.append(column)
+    table = Table(title=title, columns=columns, notes=list(notes or []))
+    for label in row_order:
+        row_data = series.get(label, {})
+        table.add_row(
+            [label] + [row_data.get(column) for column in columns[1:]]
+        )
+    return table

@@ -1,0 +1,153 @@
+"""Per-class range-query index backends.
+
+Each structural equivalence class in the fragment-based index owns a small
+index over the annotation sequences of its fragment occurrences.  The paper
+(Section 4, Figure 5) lists a trie for mutation distance, an R-tree for
+linear mutation distance, and metric-based indexes as alternatives.  This
+module defines the backend protocol plus the always-correct linear-scan
+reference backend; the trie, R-tree, and VP-tree implementations live in
+their own modules.
+
+A backend stores ``(sequence, graph_id)`` pairs (identical sequences from
+the same graph are collapsed) and answers *range queries*: given a query
+sequence and a radius ``sigma``, return for every graph id the minimum
+sequence distance among its stored occurrences that is ``<= sigma``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.distance import DistanceMeasure
+from ..core.errors import IndexError_
+
+__all__ = [
+    "ClassIndexBackend",
+    "LinearScanBackend",
+    "make_backend",
+    "register_backend",
+    "available_backends",
+]
+
+AnnotationSequence = Tuple[Any, ...]
+
+
+class ClassIndexBackend:
+    """Protocol for per-class range-query indexes.
+
+    Subclasses must implement :meth:`insert` and :meth:`range_query`; the
+    remaining helpers have sensible default implementations.
+    """
+
+    #: identifier used in factory lookups and serialized indexes
+    name = "abstract"
+
+    def __init__(self, measure: DistanceMeasure):
+        self.measure = measure
+
+    # -- required API ---------------------------------------------------
+    def insert(self, sequence: AnnotationSequence, graph_id: int) -> None:
+        """Store one fragment occurrence for ``graph_id``."""
+        raise NotImplementedError
+
+    def range_query(
+        self, sequence: AnnotationSequence, radius: float
+    ) -> Dict[int, float]:
+        """Return ``{graph_id: min distance}`` for distances ``<= radius``."""
+        raise NotImplementedError
+
+    # -- optional API ----------------------------------------------------
+    def __len__(self) -> int:
+        """Number of distinct ``(sequence, graph_id)`` entries."""
+        raise NotImplementedError
+
+    def entries(self) -> Iterator[Tuple[AnnotationSequence, int]]:
+        """Iterate over stored ``(sequence, graph_id)`` entries."""
+        raise NotImplementedError
+
+    def graph_ids(self) -> set:
+        """Return the set of graph ids with at least one stored occurrence."""
+        return {graph_id for _, graph_id in self.entries()}
+
+    def bulk_insert(
+        self, items: Iterable[Tuple[AnnotationSequence, int]]
+    ) -> None:
+        """Insert many entries (backends may override for efficiency)."""
+        for sequence, graph_id in items:
+            self.insert(sequence, graph_id)
+
+
+class LinearScanBackend(ClassIndexBackend):
+    """Reference backend: a flat list scanned on every range query.
+
+    Always correct and measure-agnostic; used both as the default for tiny
+    classes and as the oracle the other backends are validated against.
+    """
+
+    name = "linear"
+
+    def __init__(self, measure: DistanceMeasure):
+        super().__init__(measure)
+        self._by_sequence: Dict[AnnotationSequence, set] = {}
+
+    def insert(self, sequence: AnnotationSequence, graph_id: int) -> None:
+        self._by_sequence.setdefault(tuple(sequence), set()).add(graph_id)
+
+    def range_query(
+        self, sequence: AnnotationSequence, radius: float
+    ) -> Dict[int, float]:
+        sequence = tuple(sequence)
+        results: Dict[int, float] = {}
+        for stored, graph_ids in self._by_sequence.items():
+            distance = self.measure.sequence_distance(sequence, stored)
+            if distance > radius:
+                continue
+            for graph_id in graph_ids:
+                best = results.get(graph_id)
+                if best is None or distance < best:
+                    results[graph_id] = distance
+        return results
+
+    def __len__(self) -> int:
+        return sum(len(ids) for ids in self._by_sequence.values())
+
+    def entries(self) -> Iterator[Tuple[AnnotationSequence, int]]:
+        for sequence, graph_ids in self._by_sequence.items():
+            for graph_id in graph_ids:
+                yield sequence, graph_id
+
+
+# ----------------------------------------------------------------------
+# backend registry / factory
+# ----------------------------------------------------------------------
+_BACKENDS: Dict[str, type] = {}
+
+
+def register_backend(cls: type) -> type:
+    """Register a backend class under its ``name`` attribute."""
+    _BACKENDS[cls.name] = cls
+    return cls
+
+
+def available_backends() -> List[str]:
+    """Return the names of all registered backends."""
+    return sorted(_BACKENDS)
+
+
+def make_backend(name: str, measure: DistanceMeasure, **kwargs) -> ClassIndexBackend:
+    """Instantiate a registered backend by name.
+
+    ``"auto"`` selects the R-tree for vectorizable (numeric) measures and
+    the trie otherwise — matching the paper's recommendation of tries for
+    mutation distance and R-trees for linear mutation distance.
+    """
+    if name == "auto":
+        name = "rtree" if measure.supports_vectorization() else "trie"
+    if name not in _BACKENDS:
+        raise IndexError_(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        )
+    return _BACKENDS[name](measure, **kwargs)
+
+
+register_backend(LinearScanBackend)

@@ -1,0 +1,124 @@
+"""Per-equivalence-class index (one hash-table entry of Figure 5).
+
+An :class:`EquivalenceClassIndex` couples the canonical skeleton of one
+structural equivalence class (Definition 4) with
+
+* a :class:`~repro.index.sequence.FragmentSequencer` that turns fragment
+  occurrences into annotation sequences, and
+* a range-query backend (trie / R-tree / VP-tree / linear scan) storing
+  ``(sequence, graph id)`` entries.
+
+The class answers the two questions PIS asks during search (Eq. 3 and
+Algorithm 2, lines 9–17): *which database graphs contain a fragment of this
+class within distance sigma of a query fragment, and at what minimum
+distance?*  It also tracks which database graphs contain the structure at
+all, which is what topoPrune and the structure-violation rule use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Set, Tuple
+
+from ..core.canonical import CanonicalCode
+from ..core.distance import DistanceMeasure
+from ..core.graph import LabeledGraph
+from .backends import ClassIndexBackend, make_backend
+from .sequence import FragmentSequencer
+
+__all__ = ["EquivalenceClassIndex"]
+
+AnnotationSequence = Tuple[Any, ...]
+
+
+class EquivalenceClassIndex:
+    """Range-query index for the fragments of one structural class."""
+
+    def __init__(
+        self,
+        code: CanonicalCode,
+        measure: DistanceMeasure,
+        backend: str = "auto",
+        backend_options: Optional[Dict[str, Any]] = None,
+    ):
+        self.code = code
+        self.measure = measure
+        self.sequencer = FragmentSequencer(code)
+        self.backend_name = backend
+        self.backend: ClassIndexBackend = make_backend(
+            backend, measure, **(backend_options or {})
+        )
+        # graphs that contain at least one occurrence of this structure
+        self._containing_graphs: Set[int] = set()
+        self._num_occurrences = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @property
+    def skeleton(self) -> LabeledGraph:
+        """Canonical skeleton of the class (vertices are DFS indices)."""
+        return self.sequencer.skeleton
+
+    def index_graph(self, graph_id: int, graph: LabeledGraph) -> int:
+        """Index every occurrence of this class's structure in ``graph``.
+
+        Returns the number of occurrences found (0 if the structure does not
+        appear in the graph).
+        """
+        occurrences = self.sequencer.iter_occurrence_sequences(graph, self.measure)
+        for _, sequence in occurrences:
+            self.backend.insert(sequence, graph_id)
+        if occurrences:
+            self._containing_graphs.add(graph_id)
+            self._num_occurrences += len(occurrences)
+        return len(occurrences)
+
+    def insert_sequence(self, sequence: AnnotationSequence, graph_id: int) -> None:
+        """Insert a pre-computed occurrence sequence (used when loading)."""
+        self.backend.insert(tuple(sequence), graph_id)
+        self._containing_graphs.add(graph_id)
+        self._num_occurrences += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def range_query(
+        self, sequence: AnnotationSequence, sigma: float
+    ) -> Dict[int, float]:
+        """Return ``{graph_id: min distance}`` for fragments within ``sigma``.
+
+        This evaluates ``d(g, G)`` of Eq. (3) restricted to this class: the
+        minimum, over the stored occurrences of each graph, of the sequence
+        distance to the query fragment — reported only when ``<= sigma``.
+        """
+        return self.backend.range_query(tuple(sequence), sigma)
+
+    def containing_graphs(self) -> Set[int]:
+        """Graphs containing at least one occurrence of the structure."""
+        return set(self._containing_graphs)
+
+    @property
+    def num_containing_graphs(self) -> int:
+        """Number of database graphs containing this structure."""
+        return len(self._containing_graphs)
+
+    @property
+    def num_occurrences(self) -> int:
+        """Total number of indexed fragment occurrences."""
+        return self._num_occurrences
+
+    @property
+    def num_entries(self) -> int:
+        """Number of distinct ``(sequence, graph_id)`` entries in the backend."""
+        return len(self.backend)
+
+    def entries(self) -> Iterator[Tuple[AnnotationSequence, int]]:
+        """Iterate over stored ``(sequence, graph_id)`` entries."""
+        return self.backend.entries()
+
+    def __repr__(self) -> str:
+        return (
+            f"<EquivalenceClassIndex edges={self.sequencer.num_edges} "
+            f"graphs={self.num_containing_graphs} entries={self.num_entries} "
+            f"backend={self.backend.name}>"
+        )

@@ -1,0 +1,297 @@
+"""Fragment-based index (Section 4, Figures 4 and 5).
+
+The :class:`FragmentIndex` is the first component of PIS.  It is built in
+two steps, mirroring the paper:
+
+1. *feature selection* — a set of bare structures (skeletons, no labels) is
+   chosen by one of the selectors in :mod:`repro.mining`;
+2. *fragment enumeration* — for every selected structure ``f`` and every
+   database graph ``G``, all fragments of ``G`` belonging to the structural
+   equivalence class ``[f]`` are enumerated and inserted, as annotation
+   sequences, into the per-class range-query index.
+
+The hash table of Figure 5 is the ``code -> EquivalenceClassIndex`` mapping,
+keyed by the canonical (minimum DFS) code of the structure.
+
+At query time, :meth:`FragmentIndex.enumerate_query_fragments` finds every
+indexed fragment inside a query graph; the partition-based search then picks
+a vertex-disjoint subset of them and combines their per-class range queries
+into the lower bound of Eq. (2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..core.canonical import CanonicalCode, structure_code
+from ..core.database import GraphDatabase
+from ..core.distance import DistanceMeasure
+from ..core.errors import FeatureNotIndexedError, IndexNotBuiltError
+from ..core.graph import LabeledGraph, edge_key
+from .class_index import EquivalenceClassIndex
+
+__all__ = ["FragmentIndex", "QueryFragment", "IndexStats"]
+
+AnnotationSequence = Tuple[Any, ...]
+EdgeKey = Tuple[Hashable, Hashable]
+
+
+@dataclass(frozen=True)
+class QueryFragment:
+    """One indexed fragment found inside a query graph.
+
+    Attributes
+    ----------
+    code:
+        Structure code of the fragment's equivalence class.
+    vertices:
+        The query-graph vertices covered by the fragment (used for the
+        overlapping-relation graph: Definition 3 requires vertex-disjoint
+        partitions).
+    edges:
+        The query-graph edges covered by the fragment.
+    sequence:
+        The fragment's annotation sequence under the index's measure.
+    """
+
+    code: CanonicalCode
+    vertices: FrozenSet[Hashable]
+    edges: FrozenSet[EdgeKey]
+    sequence: AnnotationSequence
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in the fragment."""
+        return len(self.edges)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the fragment."""
+        return len(self.vertices)
+
+    def overlaps(self, other: "QueryFragment") -> bool:
+        """Vertex-overlap test used by the overlapping-relation graph."""
+        return bool(self.vertices & other.vertices)
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Summary statistics of a built fragment index."""
+
+    num_classes: int
+    num_graphs: int
+    num_occurrences: int
+    num_entries: int
+    min_fragment_edges: int
+    max_fragment_edges: int
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the statistics as a plain dictionary."""
+        return {
+            "num_classes": self.num_classes,
+            "num_graphs": self.num_graphs,
+            "num_occurrences": self.num_occurrences,
+            "num_entries": self.num_entries,
+            "min_fragment_edges": self.min_fragment_edges,
+            "max_fragment_edges": self.max_fragment_edges,
+        }
+
+
+class FragmentIndex:
+    """Hash table of structural equivalence classes with per-class indexes.
+
+    Parameters
+    ----------
+    features:
+        Iterable of feature structures (labels are ignored; only skeletons
+        matter).  Duplicated structures collapse into one class.
+    measure:
+        The superimposed distance measure the index is built for.  The
+        measure decides what is stored per fragment (labels vs. weights) and
+        which backend ``"auto"`` selects.
+    backend:
+        Backend name: ``"trie"``, ``"rtree"``, ``"vptree"``, ``"linear"`` or
+        ``"auto"`` (trie for categorical measures, R-tree for numeric ones).
+    backend_options:
+        Extra keyword arguments forwarded to the backend constructor.
+    """
+
+    def __init__(
+        self,
+        features: Iterable[LabeledGraph],
+        measure: DistanceMeasure,
+        backend: str = "auto",
+        backend_options: Optional[Dict[str, Any]] = None,
+    ):
+        self.measure = measure
+        self.backend_name = backend
+        self.backend_options = dict(backend_options or {})
+        self._classes: Dict[CanonicalCode, EquivalenceClassIndex] = {}
+        self._num_graphs = 0
+        self._built = False
+        for feature in features:
+            self.add_feature(feature)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_feature(self, feature: LabeledGraph) -> CanonicalCode:
+        """Register a feature structure; returns its canonical code."""
+        if feature.num_edges == 0:
+            raise ValueError("feature structures must contain at least one edge")
+        code = structure_code(feature)
+        if code not in self._classes:
+            self._classes[code] = EquivalenceClassIndex(
+                code,
+                self.measure,
+                backend=self.backend_name,
+                backend_options=self.backend_options,
+            )
+        return code
+
+    def build(self, database: Union[GraphDatabase, Iterable[LabeledGraph]]) -> "FragmentIndex":
+        """Scan the database and index every fragment of every feature class.
+
+        Returns ``self`` so construction can be chained.
+        """
+        if not isinstance(database, GraphDatabase):
+            database = GraphDatabase(database)
+        self._num_graphs = len(database)
+        for graph_id, graph in database.items():
+            self.index_graph(graph_id, graph)
+        self._built = True
+        return self
+
+    def index_graph(self, graph_id: int, graph: LabeledGraph) -> int:
+        """Index all feature occurrences of a single graph.
+
+        Returns the total number of occurrences inserted.  Exposed so that
+        incremental loads and streaming builders can add graphs one by one.
+        """
+        total = 0
+        for class_index in self._classes.values():
+            skeleton = class_index.skeleton
+            if (
+                skeleton.num_vertices > graph.num_vertices
+                or skeleton.num_edges > graph.num_edges
+            ):
+                continue
+            total += class_index.index_graph(graph_id, graph)
+        if graph_id >= self._num_graphs:
+            self._num_graphs = graph_id + 1
+        self._built = True
+        return total
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    @property
+    def num_graphs(self) -> int:
+        """Number of database graphs the index was built over."""
+        return self._num_graphs
+
+    @property
+    def num_classes(self) -> int:
+        """Number of structural equivalence classes."""
+        return len(self._classes)
+
+    def codes(self) -> Iterator[CanonicalCode]:
+        """Iterate over the canonical codes of the indexed classes."""
+        return iter(self._classes)
+
+    def classes(self) -> Iterator[EquivalenceClassIndex]:
+        """Iterate over the per-class indexes."""
+        return iter(self._classes.values())
+
+    def is_indexed(self, code: CanonicalCode) -> bool:
+        """Return ``True`` if the structure code has an index entry."""
+        return code in self._classes
+
+    def get_class(self, code: CanonicalCode) -> EquivalenceClassIndex:
+        """Return the per-class index for ``code``.
+
+        Raises
+        ------
+        FeatureNotIndexedError
+            If the code is not an indexed structure.
+        """
+        try:
+            return self._classes[code]
+        except KeyError:
+            raise FeatureNotIndexedError(code) from None
+
+    def fragment_size_range(self) -> Tuple[int, int]:
+        """Return ``(min, max)`` edge counts over the indexed structures."""
+        sizes = [c.sequencer.num_edges for c in self._classes.values()]
+        if not sizes:
+            return (0, 0)
+        return (min(sizes), max(sizes))
+
+    def stats(self) -> IndexStats:
+        """Return :class:`IndexStats` for reporting."""
+        low, high = self.fragment_size_range()
+        return IndexStats(
+            num_classes=self.num_classes,
+            num_graphs=self._num_graphs,
+            num_occurrences=sum(c.num_occurrences for c in self._classes.values()),
+            num_entries=sum(c.num_entries for c in self._classes.values()),
+            min_fragment_edges=low,
+            max_fragment_edges=high,
+        )
+
+    # ------------------------------------------------------------------
+    # query-side fragment enumeration
+    # ------------------------------------------------------------------
+    def enumerate_query_fragments(self, query: LabeledGraph) -> List[QueryFragment]:
+        """Find every indexed fragment inside the query graph.
+
+        Each occurrence of an indexed structure in the query yields one
+        :class:`QueryFragment`.  Occurrences covering the same edge set (the
+        automorphism variants of one fragment) are collapsed into a single
+        entry, because all database-side variants are indexed and the range
+        query is therefore insensitive to which variant represents the query
+        fragment.
+        """
+        if not self._built and self._num_graphs == 0:
+            raise IndexNotBuiltError(
+                "the fragment index must be built before enumerating query fragments"
+            )
+        fragments: Dict[Tuple[CanonicalCode, FrozenSet[EdgeKey]], QueryFragment] = {}
+        for code, class_index in self._classes.items():
+            skeleton = class_index.skeleton
+            if (
+                skeleton.num_vertices > query.num_vertices
+                or skeleton.num_edges > query.num_edges
+            ):
+                continue
+            for embedding, sequence in class_index.sequencer.iter_occurrence_sequences(
+                query, self.measure
+            ):
+                covered_edges = frozenset(
+                    edge_key(embedding.mapping[u], embedding.mapping[v])
+                    for (u, v) in skeleton.edges()
+                )
+                key = (code, covered_edges)
+                if key in fragments:
+                    continue
+                fragments[key] = QueryFragment(
+                    code=code,
+                    vertices=frozenset(embedding.mapping.values()),
+                    edges=covered_edges,
+                    sequence=sequence,
+                )
+        return list(fragments.values())
+
+    def range_query(
+        self, fragment: QueryFragment, sigma: float
+    ) -> Dict[int, float]:
+        """Range query for one query fragment: ``{graph_id: min distance}``."""
+        return self.get_class(fragment.code).range_query(fragment.sequence, sigma)
+
+    def __repr__(self) -> str:
+        low, high = self.fragment_size_range()
+        return (
+            f"<FragmentIndex classes={self.num_classes} graphs={self._num_graphs} "
+            f"fragment_edges={low}..{high} measure={self.measure.name}>"
+        )

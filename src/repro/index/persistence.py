@@ -1,0 +1,127 @@
+"""JSON persistence for fragment indexes.
+
+The paper's index stores only fragment sequences and graph identifiers —
+never the database graphs themselves — so an index is naturally
+serializable: per equivalence class we keep the class skeleton (as an edge
+list over DFS indices) and the list of ``(sequence, [graph ids])`` entries,
+plus a description of the distance measure and backend so the index can be
+rebuilt with identical behaviour.
+
+Only JSON-scalar annotations (strings, numbers, booleans) are supported,
+which covers both paper measures (categorical labels and numeric weights).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..core.distance import (
+    DistanceMeasure,
+    LinearMutationDistance,
+    MutationDistance,
+    MutationScoreMatrix,
+)
+from ..core.errors import SerializationError
+from ..core.graph import LabeledGraph
+from .fragment_index import FragmentIndex
+
+__all__ = [
+    "measure_to_dict",
+    "measure_from_dict",
+    "index_to_dict",
+    "index_from_dict",
+    "save_index",
+    "load_index",
+]
+
+
+def measure_to_dict(measure: DistanceMeasure) -> Dict[str, Any]:
+    """Serialize a distance measure (only the two paper measures supported)."""
+    return measure.describe()
+
+
+def measure_from_dict(data: Dict[str, Any]) -> DistanceMeasure:
+    """Rebuild a distance measure from :func:`measure_to_dict` output."""
+    name = data.get("name")
+    include_vertices = data.get("include_vertices", True)
+    include_edges = data.get("include_edges", True)
+    if name == "mutation":
+        matrix = MutationScoreMatrix.from_dict(data.get("matrix", {}))
+        return MutationDistance(
+            matrix=matrix,
+            include_vertices=include_vertices,
+            include_edges=include_edges,
+        )
+    if name == "linear":
+        return LinearMutationDistance(
+            include_vertices=include_vertices, include_edges=include_edges
+        )
+    raise SerializationError(f"unknown distance measure {name!r}")
+
+
+def index_to_dict(index: FragmentIndex) -> Dict[str, Any]:
+    """Serialize a built :class:`FragmentIndex` to a JSON-friendly dict."""
+    classes = []
+    for class_index in index.classes():
+        grouped: Dict[Any, list] = {}
+        for sequence, graph_id in class_index.entries():
+            grouped.setdefault(tuple(sequence), []).append(graph_id)
+        classes.append(
+            {
+                "skeleton": class_index.skeleton.to_dict(),
+                "entries": [
+                    {"sequence": list(sequence), "graph_ids": sorted(graph_ids)}
+                    for sequence, graph_ids in grouped.items()
+                ],
+            }
+        )
+    return {
+        "format": "pis-fragment-index",
+        "version": 1,
+        "measure": measure_to_dict(index.measure),
+        "backend": index.backend_name,
+        "num_graphs": index.num_graphs,
+        "classes": classes,
+    }
+
+
+def index_from_dict(data: Dict[str, Any]) -> FragmentIndex:
+    """Rebuild a :class:`FragmentIndex` from :func:`index_to_dict` output."""
+    if data.get("format") != "pis-fragment-index":
+        raise SerializationError("not a serialized PIS fragment index")
+    measure = measure_from_dict(data.get("measure", {}))
+    index = FragmentIndex(
+        features=[], measure=measure, backend=data.get("backend", "auto")
+    )
+    for class_data in data.get("classes", []):
+        skeleton = LabeledGraph.from_dict(class_data["skeleton"])
+        code = index.add_feature(skeleton)
+        class_index = index.get_class(code)
+        for entry in class_data.get("entries", []):
+            sequence = tuple(entry["sequence"])
+            for graph_id in entry["graph_ids"]:
+                class_index.insert_sequence(sequence, graph_id)
+    index._num_graphs = int(data.get("num_graphs", 0))
+    index._built = True
+    return index
+
+
+def save_index(index: FragmentIndex, path: Union[str, Path]) -> None:
+    """Write a fragment index to a JSON file."""
+    try:
+        Path(path).write_text(json.dumps(index_to_dict(index)), encoding="utf-8")
+    except TypeError as exc:
+        raise SerializationError(
+            f"index contains annotations that are not JSON-serializable: {exc}"
+        ) from exc
+
+
+def load_index(path: Union[str, Path]) -> FragmentIndex:
+    """Load a fragment index previously written by :func:`save_index`."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot load index from {path}: {exc}") from exc
+    return index_from_dict(data)

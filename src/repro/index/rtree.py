@@ -1,0 +1,263 @@
+"""R-tree backend for numeric annotation sequences (linear mutation distance).
+
+Example 3 in the paper indexes the edge-weight vectors of fragments with an
+R-tree and answers ``LD(g, g') <= sigma`` range queries against it.  The
+linear mutation distance between two sequences is their L1 distance, so a
+range query is an L1 ball query: an internal node can be pruned when the
+minimum L1 distance from the query point to its bounding rectangle exceeds
+the radius.
+
+This is a self-contained, pure-Python R-tree (Guttman's original design with
+quadratic split), sufficient for the fragment-vector workloads in this
+library: dimensionality equals the fragment sequence length (a handful of
+elements) and node capacities are small.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.distance import DistanceMeasure
+from ..core.errors import IndexError_
+from .backends import ClassIndexBackend, register_backend
+
+__all__ = ["RTreeBackend", "Rect"]
+
+Vector = Tuple[float, ...]
+AnnotationSequence = Tuple[Any, ...]
+
+
+class Rect:
+    """Axis-aligned bounding rectangle in d dimensions."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: Sequence[float], high: Sequence[float]):
+        self.low = tuple(low)
+        self.high = tuple(high)
+
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "Rect":
+        return cls(point, point)
+
+    def merged(self, other: "Rect") -> "Rect":
+        return Rect(
+            tuple(min(a, b) for a, b in zip(self.low, other.low)),
+            tuple(max(a, b) for a, b in zip(self.high, other.high)),
+        )
+
+    def volume_proxy(self) -> float:
+        """Sum of side lengths (L1 'margin'); robust for degenerate boxes."""
+        return sum(h - l for l, h in zip(self.low, self.high))
+
+    def enlargement(self, other: "Rect") -> float:
+        return self.merged(other).volume_proxy() - self.volume_proxy()
+
+    def min_l1_distance(self, point: Sequence[float]) -> float:
+        """Minimum L1 distance from ``point`` to any point in the rectangle."""
+        total = 0.0
+        for value, low, high in zip(point, self.low, self.high):
+            if value < low:
+                total += low - value
+            elif value > high:
+                total += value - high
+        return total
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        return all(l <= v <= h for v, l, h in zip(point, self.low, self.high))
+
+
+class _Node:
+    __slots__ = ("leaf", "entries", "rect")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        # leaf entries: (Rect, (vector, graph_id)); internal entries: (Rect, _Node)
+        self.entries: List[Tuple[Rect, Any]] = []
+        self.rect: Optional[Rect] = None
+
+    def recompute_rect(self) -> None:
+        if not self.entries:
+            self.rect = None
+            return
+        rect = self.entries[0][0]
+        for entry_rect, _ in self.entries[1:]:
+            rect = rect.merged(entry_rect)
+        self.rect = rect
+
+
+@register_backend
+class RTreeBackend(ClassIndexBackend):
+    """Guttman R-tree with quadratic split over fragment weight vectors."""
+
+    name = "rtree"
+
+    def __init__(
+        self,
+        measure: DistanceMeasure,
+        max_entries: int = 8,
+        min_entries: int = 3,
+    ):
+        super().__init__(measure)
+        if not measure.supports_vectorization():
+            raise IndexError_(
+                f"measure {measure.name!r} is not numeric; the R-tree backend "
+                "requires a vectorizable measure such as LinearMutationDistance"
+            )
+        if min_entries < 1 or max_entries < 2 * min_entries:
+            raise IndexError_("require 1 <= min_entries and max_entries >= 2*min_entries")
+        self.max_entries = max_entries
+        self.min_entries = min_entries
+        self._root = _Node(leaf=True)
+        self._num_entries = 0
+        self._seen: set = set()
+        self._dimension: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, sequence: AnnotationSequence, graph_id: int) -> None:
+        vector = self.measure.vectorize(sequence)
+        if self._dimension is None:
+            self._dimension = len(vector)
+        elif len(vector) != self._dimension:
+            raise ValueError("all vectors in one equivalence class must share a dimension")
+        key = (vector, graph_id)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._num_entries += 1
+        rect = Rect.from_point(vector)
+        split = self._insert_into(self._root, rect, key)
+        if split is not None:
+            # Root overflowed: grow the tree one level.
+            new_root = _Node(leaf=False)
+            for node in (self._root, split):
+                node.recompute_rect()
+                new_root.entries.append((node.rect, node))
+            new_root.recompute_rect()
+            self._root = new_root
+
+    def _insert_into(self, node: _Node, rect: Rect, key) -> Optional[_Node]:
+        if node.leaf:
+            node.entries.append((rect, key))
+        else:
+            best_index = self._choose_subtree(node, rect)
+            child_rect, child = node.entries[best_index]
+            split = self._insert_into(child, rect, key)
+            child.recompute_rect()
+            node.entries[best_index] = (child.rect, child)
+            if split is not None:
+                split.recompute_rect()
+                node.entries.append((split.rect, split))
+        if len(node.entries) > self.max_entries:
+            return self._split(node)
+        node.recompute_rect()
+        return None
+
+    def _choose_subtree(self, node: _Node, rect: Rect) -> int:
+        best_index = 0
+        best_key: Optional[Tuple[float, float]] = None
+        for index, (entry_rect, _) in enumerate(node.entries):
+            key = (entry_rect.enlargement(rect), entry_rect.volume_proxy())
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        return best_index
+
+    def _split(self, node: _Node) -> _Node:
+        """Quadratic split: returns the new sibling; ``node`` keeps one group."""
+        entries = node.entries
+        # Pick the two seeds wasting the most space when paired.
+        worst = None
+        seeds = (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = entries[i][0].merged(entries[j][0]).volume_proxy() - (
+                    entries[i][0].volume_proxy() + entries[j][0].volume_proxy()
+                )
+                if worst is None or waste > worst:
+                    worst = waste
+                    seeds = (i, j)
+        group_a = [entries[seeds[0]]]
+        group_b = [entries[seeds[1]]]
+        rect_a = entries[seeds[0]][0]
+        rect_b = entries[seeds[1]][0]
+        remaining = [
+            entry for index, entry in enumerate(entries) if index not in seeds
+        ]
+        for position, entry in enumerate(remaining):
+            unassigned = len(remaining) - position
+            # Honour the minimum fill requirement: if a group needs every
+            # remaining entry to reach the minimum, it gets this one.
+            if len(group_a) + unassigned <= self.min_entries:
+                group_a.append(entry)
+                rect_a = rect_a.merged(entry[0])
+                continue
+            if len(group_b) + unassigned <= self.min_entries:
+                group_b.append(entry)
+                rect_b = rect_b.merged(entry[0])
+                continue
+            if rect_a.enlargement(entry[0]) <= rect_b.enlargement(entry[0]):
+                group_a.append(entry)
+                rect_a = rect_a.merged(entry[0])
+            else:
+                group_b.append(entry)
+                rect_b = rect_b.merged(entry[0])
+        node.entries = group_a
+        node.recompute_rect()
+        sibling = _Node(leaf=node.leaf)
+        sibling.entries = group_b
+        sibling.recompute_rect()
+        return sibling
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def range_query(
+        self, sequence: AnnotationSequence, radius: float
+    ) -> Dict[int, float]:
+        point = self.measure.vectorize(sequence)
+        results: Dict[int, float] = {}
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for rect, payload in node.entries:
+                if rect.min_l1_distance(point) > radius:
+                    continue
+                if node.leaf:
+                    vector, graph_id = payload
+                    distance = sum(abs(a - b) for a, b in zip(point, vector))
+                    if distance <= radius:
+                        best = results.get(graph_id)
+                        if best is None or distance < best:
+                            results[graph_id] = distance
+                else:
+                    stack.append(payload)
+        return results
+
+    def __len__(self) -> int:
+        return self._num_entries
+
+    def entries(self) -> Iterator[Tuple[AnnotationSequence, int]]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for _, payload in node.entries:
+                if node.leaf:
+                    vector, graph_id = payload
+                    yield vector, graph_id
+                else:
+                    stack.append(payload)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def height(self) -> int:
+        """Tree height (1 for a root-only tree)."""
+        height = 1
+        node = self._root
+        while not node.leaf:
+            node = node.entries[0][1]
+            height += 1
+        return height

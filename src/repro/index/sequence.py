@@ -1,0 +1,126 @@
+"""Fragment sequentialization.
+
+Section 4 of the paper indexes fragments by first transforming them into
+sequences: the skeleton of an equivalence class defines a canonical vertex
+and edge order, and a concrete (labeled) fragment is represented by reading
+its per-element annotations (labels for MD, weights for LD) in that order.
+Two fragments of the same class can then be compared positionally with
+:meth:`repro.core.distance.DistanceMeasure.sequence_distance`.
+
+The canonical skeleton of a class is the graph reconstructed from its
+minimum DFS code (:func:`repro.core.canonical.code_to_graph`): its vertex
+ids are the DFS indices ``0..n-1`` and its edge iteration order is the DFS
+code order.  A fragment occurrence is given as an *embedding* of the
+skeleton into a host graph, so producing its sequence is just reading the
+host's annotations through the embedding.
+
+Because the fragment index enumerates **all** embeddings of a feature
+structure in each database graph, automorphism variants of a fragment are
+all present on the database side; a query fragment therefore needs only one
+sequence for range queries to be exact (see ``fragment_index``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Sequence, Tuple
+
+from ..core.canonical import CanonicalCode, code_to_graph
+from ..core.distance import DistanceMeasure
+from ..core.graph import LabeledGraph
+from ..core.isomorphism import Embedding, iter_embeddings
+
+__all__ = ["FragmentSequencer"]
+
+Annotation = Any
+AnnotationSequence = Tuple[Annotation, ...]
+
+
+class FragmentSequencer:
+    """Turns fragment occurrences of one structural class into sequences.
+
+    Parameters
+    ----------
+    code:
+        The structure code (minimum DFS code of the unlabeled skeleton) that
+        identifies the equivalence class.
+    """
+
+    def __init__(self, code: CanonicalCode):
+        self.code = code
+        self.skeleton: LabeledGraph = code_to_graph(code)
+        # DFS indices are the skeleton's vertex ids; order them numerically.
+        self.vertex_order: List[Hashable] = sorted(self.skeleton.vertices())
+        self.edge_order: List[Tuple[Hashable, Hashable]] = list(self.skeleton.edges())
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the class skeleton."""
+        return self.skeleton.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in the class skeleton."""
+        return self.skeleton.num_edges
+
+    def sequence_length(self, measure: DistanceMeasure) -> int:
+        """Length of the annotation sequence under ``measure``."""
+        length = 0
+        if measure.include_vertices:
+            length += self.num_vertices
+        if measure.include_edges:
+            length += self.num_edges
+        return length
+
+    def sequence_for_embedding(
+        self,
+        host: LabeledGraph,
+        embedding: Embedding,
+        measure: DistanceMeasure,
+    ) -> AnnotationSequence:
+        """Read the annotation sequence of one occurrence in ``host``.
+
+        ``embedding`` maps skeleton vertices (DFS indices) to host vertices.
+        The sequence lists vertex annotations in DFS-index order followed by
+        edge annotations in DFS-code edge order, restricted to the element
+        kinds the measure actually scores.
+        """
+        annotations: List[Annotation] = []
+        if measure.include_vertices:
+            for skeleton_vertex in self.vertex_order:
+                host_vertex = embedding.mapping[skeleton_vertex]
+                annotations.append(measure.vertex_annotation(host, host_vertex))
+        if measure.include_edges:
+            for (u, v) in self.edge_order:
+                host_edge = (embedding.mapping[u], embedding.mapping[v])
+                annotations.append(measure.edge_annotation(host, host_edge))
+        return tuple(annotations)
+
+    def iter_occurrence_sequences(
+        self, host: LabeledGraph, measure: DistanceMeasure
+    ) -> List[Tuple[Embedding, AnnotationSequence]]:
+        """Enumerate all occurrences of the class skeleton in ``host``.
+
+        Returns ``(embedding, sequence)`` pairs, one per monomorphism of the
+        skeleton into the host graph.
+        """
+        occurrences: List[Tuple[Embedding, AnnotationSequence]] = []
+        for embedding in iter_embeddings(self.skeleton, host):
+            occurrences.append(
+                (embedding, self.sequence_for_embedding(host, embedding, measure))
+            )
+        return occurrences
+
+    def sequence_for_fragment(
+        self, fragment: LabeledGraph, measure: DistanceMeasure
+    ) -> AnnotationSequence:
+        """Return one canonical sequence for a standalone fragment graph.
+
+        The fragment must belong to this class (its skeleton must be
+        isomorphic to the class skeleton); the first monomorphism found is
+        used, which is sufficient because database entries cover all
+        automorphism variants.
+        """
+        for embedding in iter_embeddings(self.skeleton, fragment, limit=1):
+            if len(embedding.mapping) == fragment.num_vertices:
+                return self.sequence_for_embedding(fragment, embedding, measure)
+        raise ValueError("fragment does not belong to this equivalence class")

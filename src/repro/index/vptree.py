@@ -1,0 +1,138 @@
+"""Vantage-point tree backend (metric-based index).
+
+The paper lists metric-based indexes (Hjaltason & Samet) as a third option
+for the per-class range queries.  Both paper distances are metrics over
+annotation sequences of one structural class — the mutation distance with a
+0/1 matrix is a Hamming-style metric and the linear mutation distance is L1
+— so a vantage-point tree applies to either, and serves as the generic
+backend when the measure is neither purely categorical nor numeric (e.g. a
+custom mutation matrix with graded costs, provided it satisfies the triangle
+inequality).
+
+The tree is built lazily: insertions accumulate into a buffer and the tree
+is (re)built on the first query after a modification.  Rebuilding is
+O(n log n) distance computations, which is appropriate for the build-once /
+query-many workload of a fragment index.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..core.distance import DistanceMeasure
+from .backends import ClassIndexBackend, register_backend
+
+__all__ = ["VPTreeBackend"]
+
+AnnotationSequence = Tuple[Any, ...]
+
+
+class _VPNode:
+    __slots__ = ("sequence", "graph_ids", "radius", "inside", "outside")
+
+    def __init__(self, sequence: AnnotationSequence, graph_ids: set):
+        self.sequence = sequence
+        self.graph_ids = graph_ids
+        self.radius = 0.0
+        self.inside: Optional["_VPNode"] = None
+        self.outside: Optional["_VPNode"] = None
+
+
+@register_backend
+class VPTreeBackend(ClassIndexBackend):
+    """Vantage-point tree over annotation sequences.
+
+    Parameters
+    ----------
+    measure:
+        Distance measure; ``measure.sequence_distance`` must be a metric.
+    seed:
+        Seed for the vantage-point selection (kept deterministic so that
+        index builds are reproducible).
+    """
+
+    name = "vptree"
+
+    def __init__(self, measure: DistanceMeasure, seed: int = 17):
+        super().__init__(measure)
+        self._points: Dict[AnnotationSequence, set] = {}
+        self._root: Optional[_VPNode] = None
+        self._dirty = False
+        self._num_entries = 0
+        self._rng = random.Random(seed)
+
+    def insert(self, sequence: AnnotationSequence, graph_id: int) -> None:
+        sequence = tuple(sequence)
+        bucket = self._points.setdefault(sequence, set())
+        if graph_id not in bucket:
+            bucket.add(graph_id)
+            self._num_entries += 1
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    def _build(self, items: List[Tuple[AnnotationSequence, set]]) -> Optional[_VPNode]:
+        if not items:
+            return None
+        pivot_index = self._rng.randrange(len(items))
+        pivot_sequence, pivot_ids = items[pivot_index]
+        rest = items[:pivot_index] + items[pivot_index + 1 :]
+        node = _VPNode(pivot_sequence, set(pivot_ids))
+        if not rest:
+            return node
+        distances = [
+            (self.measure.sequence_distance(pivot_sequence, sequence), sequence, ids)
+            for sequence, ids in rest
+        ]
+        distances.sort(key=lambda item: item[0])
+        median_index = len(distances) // 2
+        node.radius = distances[median_index][0]
+        # Ties all land in the inside child; recursion still terminates
+        # because the pivot is removed at every level.
+        inside = [(seq, ids) for d, seq, ids in distances if d <= node.radius]
+        outside = [(seq, ids) for d, seq, ids in distances if d > node.radius]
+        node.inside = self._build(inside)
+        node.outside = self._build(outside)
+        return node
+
+    def _ensure_built(self) -> None:
+        if self._dirty:
+            self._root = self._build(list(self._points.items()))
+            self._dirty = False
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def range_query(
+        self, sequence: AnnotationSequence, radius: float
+    ) -> Dict[int, float]:
+        self._ensure_built()
+        sequence = tuple(sequence)
+        results: Dict[int, float] = {}
+        if self._root is None:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            distance = self.measure.sequence_distance(sequence, node.sequence)
+            if distance <= radius:
+                for graph_id in node.graph_ids:
+                    best = results.get(graph_id)
+                    if best is None or distance < best:
+                        results[graph_id] = distance
+            # Triangle-inequality pruning on both children.
+            if node.inside is not None and distance - radius <= node.radius:
+                stack.append(node.inside)
+            if node.outside is not None and distance + radius > node.radius:
+                stack.append(node.outside)
+        return results
+
+    def __len__(self) -> int:
+        return self._num_entries
+
+    def entries(self) -> Iterator[Tuple[AnnotationSequence, int]]:
+        for sequence, graph_ids in self._points.items():
+            for graph_id in graph_ids:
+                yield sequence, graph_id

@@ -1,0 +1,20 @@
+"""Feature (structure) selection: paths, exhaustive, frequent, discriminative."""
+
+from .base import FeatureSelector, StructureSupport, deduplicate_structures
+from .exhaustive import ExhaustiveFeatureSelector
+from .gindex import GIndexFeatureSelector
+from .gspan import FrequentStructureMiner, GSpanFeatureSelector
+from .paths import PathFeatureSelector, cycle_structure, path_structure
+
+__all__ = [
+    "FeatureSelector",
+    "StructureSupport",
+    "deduplicate_structures",
+    "PathFeatureSelector",
+    "path_structure",
+    "cycle_structure",
+    "ExhaustiveFeatureSelector",
+    "FrequentStructureMiner",
+    "GSpanFeatureSelector",
+    "GIndexFeatureSelector",
+]

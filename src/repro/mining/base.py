@@ -1,0 +1,74 @@
+"""Feature-selector protocol shared by all structure selectors.
+
+PIS builds its fragment index over a set of *bare structures* (skeletons
+without labels).  The paper delegates the choice of structures to existing
+work — path features as in GraphGrep (Shasha et al.) or discriminative
+frequent structures as in gIndex (Yan et al.) — and this package provides
+both, plus an exhaustive small-structure selector that is convenient for
+experiments because its behaviour is easy to reason about (every structure
+up to ``max_edges`` that is frequent enough gets indexed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..core.canonical import CanonicalCode, structure_code
+from ..core.database import GraphDatabase
+from ..core.graph import LabeledGraph
+
+__all__ = ["FeatureSelector", "StructureSupport", "deduplicate_structures"]
+
+
+@dataclass
+class StructureSupport:
+    """A candidate structure together with its supporting graph ids."""
+
+    structure: LabeledGraph
+    code: CanonicalCode
+    supporting_graphs: Set[int]
+
+    @property
+    def support(self) -> int:
+        """Number of database graphs containing the structure."""
+        return len(self.supporting_graphs)
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count of the structure."""
+        return self.structure.num_edges
+
+
+class FeatureSelector:
+    """Base class: turn a graph database into a list of feature structures."""
+
+    def select(self, database: GraphDatabase) -> List[LabeledGraph]:
+        """Return the selected feature structures (skeletons)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def resolve_min_support(min_support: float, num_graphs: int) -> int:
+        """Convert a relative or absolute support threshold to a count.
+
+        Values in ``(0, 1]`` are interpreted as a fraction of the database;
+        values ``> 1`` as absolute counts.  The result is at least 1.
+        """
+        if min_support <= 0:
+            return 1
+        if min_support <= 1:
+            return max(1, int(round(min_support * num_graphs)))
+        return max(1, int(min_support))
+
+
+def deduplicate_structures(structures: Iterable[LabeledGraph]) -> List[LabeledGraph]:
+    """Drop structures that are isomorphic to an earlier one (by skeleton)."""
+    seen: Set[CanonicalCode] = set()
+    unique: List[LabeledGraph] = []
+    for structure in structures:
+        code = structure_code(structure)
+        if code in seen:
+            continue
+        seen.add(code)
+        unique.append(structure)
+    return unique

@@ -1,0 +1,219 @@
+"""Frequent structure mining by pattern growth (gSpan-style).
+
+gIndex (the feature-selection method PIS builds on) first mines frequent
+structures with gSpan and then keeps the discriminative ones.  This module
+implements a pattern-growth frequent-structure miner over *skeletons*:
+
+* patterns are identified by their minimum DFS code
+  (:func:`repro.core.canonical.structure_code`), which both deduplicates
+  candidates and guarantees each pattern is counted once;
+* growth extends a frequent pattern by one edge, with extensions proposed
+  from the pattern's actual embeddings in its supporting graphs (so no
+  candidate can be frequent without being generated);
+* support is the number of database graphs containing the pattern, and the
+  anti-monotonicity of support prunes the search exactly as in gSpan.
+
+Compared to a textbook gSpan the rightmost-path extension restriction is
+replaced by canonical-code deduplication; for the fragment sizes PIS indexes
+(≤ 7 edges) this trades some redundancy during candidate generation for a
+much simpler implementation with the same output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.canonical import CanonicalCode, structure_code
+from ..core.database import GraphDatabase
+from ..core.graph import LabeledGraph, edge_key
+from ..core.isomorphism import iter_embeddings
+from .base import FeatureSelector, StructureSupport
+
+__all__ = ["FrequentStructureMiner", "GSpanFeatureSelector"]
+
+
+class FrequentStructureMiner:
+    """Mine frequent connected structures up to a maximum edge count.
+
+    Parameters
+    ----------
+    min_support:
+        Support threshold; fractions in ``(0, 1]`` are relative to the
+        database size, larger values are absolute graph counts.
+    max_edges:
+        Largest pattern size (in edges) to mine.
+    min_edges:
+        Smallest pattern size to report (patterns below this size are still
+        grown, just not reported).
+    max_embeddings_per_graph:
+        Cap on the number of embeddings per supporting graph used to propose
+        extensions.  Extensions are also proposed from every supporting
+        graph, so a candidate that is frequent is always generated; the cap
+        only bounds redundant proposals inside a single graph.
+    """
+
+    def __init__(
+        self,
+        min_support: float = 0.1,
+        max_edges: int = 5,
+        min_edges: int = 1,
+        max_embeddings_per_graph: int = 200,
+    ):
+        if max_edges < 1 or min_edges < 1 or min_edges > max_edges:
+            raise ValueError("require 1 <= min_edges <= max_edges")
+        self.min_support = min_support
+        self.max_edges = max_edges
+        self.min_edges = min_edges
+        self.max_embeddings_per_graph = max_embeddings_per_graph
+
+    # ------------------------------------------------------------------
+    def mine(self, database: GraphDatabase) -> List[StructureSupport]:
+        """Return every frequent structure with its supporting graph ids."""
+        threshold = FeatureSelector.resolve_min_support(
+            self.min_support, len(database)
+        )
+
+        # Level 1: the single-edge structure.
+        seed = LabeledGraph(name="edge")
+        seed.add_vertex(0)
+        seed.add_vertex(1)
+        seed.add_edge(0, 1)
+        seed_support = {
+            graph_id for graph_id, graph in database.items() if graph.num_edges >= 1
+        }
+        results: Dict[CanonicalCode, StructureSupport] = {}
+        frontier: List[StructureSupport] = []
+        if len(seed_support) >= threshold:
+            entry = StructureSupport(
+                structure=seed,
+                code=structure_code(seed),
+                supporting_graphs=seed_support,
+            )
+            frontier.append(entry)
+            if self.min_edges <= 1:
+                results[entry.code] = entry
+
+        while frontier:
+            next_frontier: List[StructureSupport] = []
+            candidate_codes: Set[CanonicalCode] = set()
+            for pattern in frontier:
+                if pattern.num_edges >= self.max_edges:
+                    continue
+                for candidate in self._extensions(pattern, database):
+                    code = structure_code(candidate)
+                    if code in results or code in candidate_codes:
+                        continue
+                    candidate_codes.add(code)
+                    support = self._count_support(
+                        candidate, database, pattern.supporting_graphs
+                    )
+                    if len(support) < threshold:
+                        continue
+                    entry = StructureSupport(
+                        structure=candidate,
+                        code=code,
+                        supporting_graphs=support,
+                    )
+                    next_frontier.append(entry)
+                    if candidate.num_edges >= self.min_edges:
+                        results[code] = entry
+            frontier = next_frontier
+
+        ordered = sorted(
+            results.values(), key=lambda s: (s.num_edges, -s.support, repr(s.code))
+        )
+        return ordered
+
+    # ------------------------------------------------------------------
+    def _extensions(
+        self, pattern: StructureSupport, database: GraphDatabase
+    ) -> List[LabeledGraph]:
+        """Propose one-edge extensions of ``pattern`` seen in its support."""
+        proposals: Dict[CanonicalCode, LabeledGraph] = {}
+        skeleton = pattern.structure
+        for graph_id in pattern.supporting_graphs:
+            graph = database[graph_id]
+            count = 0
+            for embedding in iter_embeddings(skeleton, graph):
+                count += 1
+                if count > self.max_embeddings_per_graph:
+                    break
+                image = set(embedding.mapping.values())
+                reverse = {v: k for k, v in embedding.mapping.items()}
+                used_edges = {
+                    edge_key(embedding.mapping[u], embedding.mapping[v])
+                    for (u, v) in skeleton.edges()
+                }
+                for host_vertex in image:
+                    for neighbor in graph.neighbors(host_vertex):
+                        host_edge = edge_key(host_vertex, neighbor)
+                        if host_edge in used_edges:
+                            continue
+                        extended = skeleton.copy()
+                        source = reverse[host_vertex]
+                        if neighbor in reverse:
+                            # backward extension: close a cycle
+                            target = reverse[neighbor]
+                            if extended.has_edge(source, target):
+                                continue
+                            extended.add_edge(source, target)
+                        else:
+                            # forward extension: add a new vertex
+                            new_vertex = extended.num_vertices
+                            while new_vertex in extended:
+                                new_vertex += 1
+                            extended.add_vertex(new_vertex)
+                            extended.add_edge(source, new_vertex)
+                        code = structure_code(extended)
+                        if code not in proposals:
+                            proposals[code] = extended.skeleton()
+        return list(proposals.values())
+
+    def _count_support(
+        self,
+        candidate: LabeledGraph,
+        database: GraphDatabase,
+        parent_support: Set[int],
+    ) -> Set[int]:
+        """Count support of a candidate among its parent's supporting graphs."""
+        support: Set[int] = set()
+        for graph_id in parent_support:
+            graph = database[graph_id]
+            if (
+                candidate.num_vertices > graph.num_vertices
+                or candidate.num_edges > graph.num_edges
+            ):
+                continue
+            for _ in iter_embeddings(candidate, graph, limit=1):
+                support.add(graph_id)
+                break
+        return support
+
+
+class GSpanFeatureSelector(FeatureSelector):
+    """Feature selector returning every frequent structure (no pruning)."""
+
+    def __init__(
+        self,
+        min_support: float = 0.1,
+        max_edges: int = 5,
+        min_edges: int = 1,
+        max_features: Optional[int] = None,
+    ):
+        self.miner = FrequentStructureMiner(
+            min_support=min_support, max_edges=max_edges, min_edges=min_edges
+        )
+        self.max_features = max_features
+
+    def select_supports(self, database: GraphDatabase) -> List[StructureSupport]:
+        """Return the mined structures with their supports."""
+        supports = self.miner.mine(database)
+        if self.max_features is not None:
+            supports = sorted(
+                supports, key=lambda s: (-s.num_edges, -s.support, repr(s.code))
+            )[: self.max_features]
+        return supports
+
+    def select(self, database: GraphDatabase) -> List[LabeledGraph]:
+        return [support.structure for support in self.select_supports(database)]

@@ -1,0 +1,38 @@
+"""Partition-based search: selectivity, MWIS partition, PIS, baselines."""
+
+from .baselines import ExactTopoPruneSearch, NaiveSearch, TopoPruneSearch
+from .mwis import (
+    MWISResult,
+    enhanced_greedy_mwis,
+    exact_mwis,
+    greedy_mwis,
+    solve_mwis,
+)
+from .overlap_graph import OverlapGraph
+from .partition import PartitionResult, select_partition, validate_partition
+from .pis import FilterOutcome, PISearch
+from .results import PruningReport, SearchResult
+from .selectivity import FragmentSelectivity, SelectivityEstimator
+from .strategy import SearchStrategy
+
+__all__ = [
+    "SearchStrategy",
+    "SearchResult",
+    "PruningReport",
+    "SelectivityEstimator",
+    "FragmentSelectivity",
+    "OverlapGraph",
+    "MWISResult",
+    "greedy_mwis",
+    "enhanced_greedy_mwis",
+    "exact_mwis",
+    "solve_mwis",
+    "PartitionResult",
+    "select_partition",
+    "validate_partition",
+    "PISearch",
+    "FilterOutcome",
+    "NaiveSearch",
+    "TopoPruneSearch",
+    "ExactTopoPruneSearch",
+]

@@ -1,0 +1,82 @@
+"""Index-based partition selection (Section 5).
+
+Given the indexed fragments found in a query graph and their selectivities,
+pick a vertex-disjoint subset of maximum total selectivity by solving MWIS
+on the overlapping-relation graph.  The returned partition is what the
+superimposed-distance lower bound of Eq. (2) is summed over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.errors import PartitionError
+from ..index.fragment_index import QueryFragment
+from .mwis import MWISResult, solve_mwis
+from .overlap_graph import OverlapGraph
+
+__all__ = ["PartitionResult", "select_partition", "validate_partition"]
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """A vertex-disjoint set of query fragments chosen for pruning."""
+
+    fragments: List[QueryFragment]
+    weight: float
+    method: str
+    overlap_graph: OverlapGraph
+    mwis: MWISResult
+
+    @property
+    def size(self) -> int:
+        """Number of fragments in the partition."""
+        return len(self.fragments)
+
+    def covered_vertices(self) -> frozenset:
+        """Union of the query vertices covered by the partition."""
+        covered: set = set()
+        for fragment in self.fragments:
+            covered |= fragment.vertices
+        return frozenset(covered)
+
+
+def validate_partition(fragments: Sequence[QueryFragment]) -> None:
+    """Raise :class:`PartitionError` unless the fragments are vertex-disjoint."""
+    seen: set = set()
+    for fragment in fragments:
+        if fragment.vertices & seen:
+            raise PartitionError("fragments in a partition must be vertex-disjoint")
+        seen |= fragment.vertices
+
+
+def select_partition(
+    fragments: Sequence[QueryFragment],
+    weights: Sequence[float],
+    method: str = "greedy",
+    k: int = 2,
+) -> PartitionResult:
+    """Choose a vertex-disjoint, maximum-selectivity subset of fragments.
+
+    Parameters
+    ----------
+    fragments:
+        Candidate indexed fragments found in the query graph.
+    weights:
+        Selectivity of each fragment (same order as ``fragments``).
+    method:
+        MWIS solver: ``"greedy"`` (Algorithm 1), ``"enhanced-greedy"``
+        (Theorem 3, with parameter ``k``) or ``"exact"``.
+    """
+    overlap_graph = OverlapGraph.build(fragments, weights)
+    mwis = solve_mwis(overlap_graph, method=method, k=k)
+    chosen = overlap_graph.select_fragments(sorted(mwis.nodes))
+    validate_partition(chosen)
+    return PartitionResult(
+        fragments=chosen,
+        weight=mwis.weight,
+        method=mwis.method,
+        overlap_graph=overlap_graph,
+        mwis=mwis,
+    )

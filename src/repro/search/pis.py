@@ -1,0 +1,219 @@
+"""PIS: partition-based graph index and search (Sections 3, 5, 6).
+
+:class:`PISearch` implements the full three-step framework:
+
+1. **Fragment-based index** — supplied as a built
+   :class:`~repro.index.fragment_index.FragmentIndex`.
+2. **Partition-based search** (Algorithm 2) — enumerate the indexed
+   fragments of the query, run one range query per fragment, intersect the
+   matching graph sets, estimate fragment selectivities, pick a
+   vertex-disjoint partition by greedy MWIS on the overlapping-relation
+   graph, and drop every graph whose summed fragment distances exceed the
+   threshold (the lower bound of Eq. 2).
+3. **Candidate verification** — compute the true minimum superimposed
+   distance of the surviving candidates and keep those within the
+   threshold.
+
+The filtering phase touches only the index (never the database graphs);
+verification is the only step that needs the graphs themselves, exactly as
+in the paper's implementation notes (Section 6).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.database import GraphDatabase
+from ..core.graph import LabeledGraph
+from ..core.superimposed import best_superposition
+from ..index.fragment_index import FragmentIndex, QueryFragment
+from .partition import PartitionResult, select_partition
+from .results import PruningReport, SearchResult
+from .selectivity import SelectivityEstimator
+from .strategy import SearchStrategy
+
+__all__ = ["PISearch", "FilterOutcome"]
+
+
+@dataclass
+class FilterOutcome:
+    """Everything the filtering phase of one query produced.
+
+    Exposed separately from :class:`SearchResult` so experiments can study
+    the pruning behaviour (candidate counts, partitions, selectivities)
+    without paying for verification.
+    """
+
+    candidate_ids: List[int]
+    fragment_distances: Dict[int, Dict[int, float]]
+    fragments: List[QueryFragment]
+    selectivities: List[float]
+    partition: Optional[PartitionResult]
+    report: PruningReport
+    lower_bounds: Dict[int, float]
+
+
+class PISearch(SearchStrategy):
+    """Partition-based index and search engine.
+
+    Parameters
+    ----------
+    index:
+        A built fragment index (its measure defines the distance semantics).
+    database:
+        The graph database (needed only for verification).
+    epsilon:
+        Selectivity floor; fragments with ``w(g) <= epsilon`` are dropped
+        before the partition is selected (Algorithm 2, line 5).
+    cutoff_lambda:
+        Cutoff factor for selectivity estimation (Figure 11).
+    partition_method / partition_k:
+        MWIS solver used for the partition ("greedy", "enhanced-greedy",
+        "exact") and its ``k`` parameter.
+    """
+
+    name = "pis"
+
+    def __init__(
+        self,
+        index: FragmentIndex,
+        database: GraphDatabase,
+        epsilon: float = 0.0,
+        cutoff_lambda: float = 1.0,
+        partition_method: str = "greedy",
+        partition_k: int = 2,
+    ):
+        super().__init__(database=database, measure=index.measure)
+        self.index = index
+        self.epsilon = epsilon
+        self.cutoff_lambda = cutoff_lambda
+        self.partition_method = partition_method
+        self.partition_k = partition_k
+
+    # ------------------------------------------------------------------
+    # filtering (Algorithm 2)
+    # ------------------------------------------------------------------
+    def filter_candidates(self, query: LabeledGraph, sigma: float) -> FilterOutcome:
+        """Run the partition-based filtering phase and return its outcome."""
+        num_graphs = max(self.index.num_graphs, len(self.database))
+        report = PruningReport(num_database_graphs=num_graphs)
+
+        # Lines 3-4: enumerate the indexed fragments of the query graph.
+        fragments = self.index.enumerate_query_fragments(query)
+        report.num_query_fragments = len(fragments)
+
+        candidate_ids: Optional[Set[int]] = None
+        fragment_distances: Dict[int, Dict[int, float]] = {}
+        estimator = SelectivityEstimator(
+            num_graphs=num_graphs, sigma=sigma, cutoff_lambda=self.cutoff_lambda
+        )
+        selectivities: List[float] = []
+
+        # Lines 6-18: one range query per fragment; intersect the matching
+        # graph sets; compute the fragment selectivities.
+        for position, fragment in enumerate(fragments):
+            distances = self.index.range_query(fragment, sigma)
+            fragment_distances[position] = distances
+            selectivities.append(estimator.from_range_result(distances).weight)
+            matched = set(distances)
+            candidate_ids = matched if candidate_ids is None else candidate_ids & matched
+
+        if candidate_ids is None:
+            # No indexed fragment occurs in the query: the index cannot
+            # prune anything and every graph stays a candidate.
+            candidate_ids = set(range(num_graphs))
+
+        report.num_structure_candidates = len(candidate_ids)
+
+        # Line 5: drop fragments whose selectivity is below the floor.
+        eligible = [
+            position
+            for position in range(len(fragments))
+            if selectivities[position] > self.epsilon
+        ]
+        report.num_fragments_after_epsilon = len(eligible)
+
+        partition: Optional[PartitionResult] = None
+        lower_bounds: Dict[int, float] = {}
+        if eligible and candidate_ids:
+            # Lines 19-20: overlapping-relation graph + greedy MWIS.
+            partition = select_partition(
+                [fragments[position] for position in eligible],
+                [selectivities[position] for position in eligible],
+                method=self.partition_method,
+                k=self.partition_k,
+            )
+            report.partition_size = partition.size
+            report.partition_weight = partition.weight
+
+            # Lines 21-23: apply the lower bound of Eq. (2).
+            partition_positions = [
+                eligible[node] for node in sorted(partition.mwis.nodes)
+            ]
+            surviving: Set[int] = set()
+            for graph_id in candidate_ids:
+                bound = 0.0
+                for position in partition_positions:
+                    distance = fragment_distances[position].get(graph_id)
+                    if distance is None:
+                        # The graph has no occurrence of this fragment within
+                        # sigma, so its superimposed distance already exceeds
+                        # the threshold.
+                        bound = sigma + 1.0
+                        break
+                    bound += distance
+                    if bound > sigma:
+                        break
+                lower_bounds[graph_id] = bound
+                if bound <= sigma:
+                    surviving.add(graph_id)
+            candidate_ids = surviving
+
+        report.num_candidates = len(candidate_ids)
+        return FilterOutcome(
+            candidate_ids=sorted(candidate_ids),
+            fragment_distances=fragment_distances,
+            fragments=fragments,
+            selectivities=selectivities,
+            partition=partition,
+            report=report,
+            lower_bounds=lower_bounds,
+        )
+
+    # ------------------------------------------------------------------
+    # full search (filtering + verification)
+    # ------------------------------------------------------------------
+    def candidates(self, query: LabeledGraph, sigma: float) -> List[int]:
+        """Return the candidate graph ids (filtering phase only)."""
+        return self.filter_candidates(query, sigma).candidate_ids
+
+    def search(self, query: LabeledGraph, sigma: float) -> SearchResult:
+        """Answer one SSSD query: filter, then verify the candidates."""
+        start = time.perf_counter()
+        outcome = self.filter_candidates(query, sigma)
+        prune_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        answers: List[int] = []
+        distances: Dict[int, float] = {}
+        for graph_id in outcome.candidate_ids:
+            result = best_superposition(
+                query, self.database[graph_id], self.measure, threshold=sigma
+            )
+            if result.distance <= sigma:
+                answers.append(graph_id)
+                distances[graph_id] = result.distance
+        verify_seconds = time.perf_counter() - start
+
+        return SearchResult(
+            sigma=sigma,
+            candidate_ids=outcome.candidate_ids,
+            answer_ids=answers,
+            answer_distances=distances,
+            prune_seconds=prune_seconds,
+            verify_seconds=verify_seconds,
+            report=outcome.report,
+            method=self.name,
+        )

@@ -1,0 +1,112 @@
+"""Result containers shared by PIS and the baseline search strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["SearchResult", "PruningReport"]
+
+
+@dataclass
+class PruningReport:
+    """Diagnostics of the pruning (filtering) phase of one query.
+
+    Attributes
+    ----------
+    num_database_graphs:
+        Database size ``n``.
+    num_query_fragments:
+        Indexed fragments enumerated in the query (``|F|`` in Algorithm 2).
+    num_fragments_after_epsilon:
+        Fragments surviving the selectivity floor ``epsilon``.
+    partition_size:
+        Number of fragments in the selected vertex-disjoint partition.
+    partition_weight:
+        Total selectivity of the partition (the MWIS objective).
+    num_structure_candidates:
+        Graphs surviving structure/range intersection only (the quantity a
+        purely structural filter would return for the same fragments).
+    num_candidates:
+        Final candidate count after the superimposed-distance lower bound
+        (``Y_p`` in the experiments).
+    """
+
+    num_database_graphs: int = 0
+    num_query_fragments: int = 0
+    num_fragments_after_epsilon: int = 0
+    partition_size: int = 0
+    partition_weight: float = 0.0
+    num_structure_candidates: int = 0
+    num_candidates: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return the report as a plain dictionary."""
+        return {
+            "num_database_graphs": self.num_database_graphs,
+            "num_query_fragments": self.num_query_fragments,
+            "num_fragments_after_epsilon": self.num_fragments_after_epsilon,
+            "partition_size": self.partition_size,
+            "partition_weight": round(self.partition_weight, 6),
+            "num_structure_candidates": self.num_structure_candidates,
+            "num_candidates": self.num_candidates,
+        }
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one SSSD query.
+
+    Attributes
+    ----------
+    sigma:
+        Distance threshold used.
+    candidate_ids:
+        Graph ids surviving the filtering phase (before verification).
+    answer_ids:
+        Graph ids whose true minimum superimposed distance is ``<= sigma``.
+    answer_distances:
+        Exact distances for the answers (when the strategy computes them).
+    prune_seconds / verify_seconds:
+        Wall-clock split between filtering and verification.
+    report:
+        Filtering diagnostics (PIS only; baselines fill what applies).
+    method:
+        Name of the strategy that produced this result.
+    """
+
+    sigma: float
+    candidate_ids: List[int]
+    answer_ids: List[int]
+    answer_distances: Dict[int, float] = field(default_factory=dict)
+    prune_seconds: float = 0.0
+    verify_seconds: float = 0.0
+    report: PruningReport = field(default_factory=PruningReport)
+    method: str = ""
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of candidate graphs passed to verification."""
+        return len(self.candidate_ids)
+
+    @property
+    def num_answers(self) -> int:
+        """Number of true answers."""
+        return len(self.answer_ids)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total query processing time."""
+        return self.prune_seconds + self.verify_seconds
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return a JSON-friendly summary (ids included, distances rounded)."""
+        return {
+            "method": self.method,
+            "sigma": self.sigma,
+            "num_candidates": self.num_candidates,
+            "num_answers": self.num_answers,
+            "prune_seconds": round(self.prune_seconds, 6),
+            "verify_seconds": round(self.verify_seconds, 6),
+            "report": self.report.as_dict(),
+        }

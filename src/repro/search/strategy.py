@@ -1,0 +1,71 @@
+"""Common interface for SSSD search strategies (PIS and the baselines)."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from ..core.database import GraphDatabase
+from ..core.distance import DistanceMeasure
+from ..core.graph import LabeledGraph
+from ..core.superimposed import best_superposition
+from .results import SearchResult
+
+__all__ = ["SearchStrategy"]
+
+
+class SearchStrategy:
+    """Base class: filter candidates, then verify them against the database.
+
+    Subclasses implement :meth:`candidates`; verification is shared so that
+    every strategy returns byte-for-byte comparable answer sets.
+    """
+
+    #: strategy identifier used in reports
+    name = "abstract"
+
+    def __init__(self, database: GraphDatabase, measure: DistanceMeasure):
+        self.database = database
+        self.measure = measure
+
+    def candidates(self, query: LabeledGraph, sigma: float) -> List[int]:
+        """Return the candidate graph ids for one query (filtering phase)."""
+        raise NotImplementedError
+
+    def verify(
+        self, query: LabeledGraph, sigma: float, candidate_ids: List[int]
+    ) -> Tuple[List[int], Dict[int, float]]:
+        """Verify candidates: keep graphs whose true distance is within sigma."""
+        answers: List[int] = []
+        distances: Dict[int, float] = {}
+        for graph_id in candidate_ids:
+            result = best_superposition(
+                query, self.database[graph_id], self.measure, threshold=sigma
+            )
+            if result.distance <= sigma:
+                answers.append(graph_id)
+                distances[graph_id] = result.distance
+        return answers, distances
+
+    def search(self, query: LabeledGraph, sigma: float) -> SearchResult:
+        """Run filtering + verification and time the two phases."""
+        start = time.perf_counter()
+        candidate_ids = self.candidates(query, sigma)
+        prune_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        answers, distances = self.verify(query, sigma, candidate_ids)
+        verify_seconds = time.perf_counter() - start
+
+        result = SearchResult(
+            sigma=sigma,
+            candidate_ids=list(candidate_ids),
+            answer_ids=answers,
+            answer_distances=distances,
+            prune_seconds=prune_seconds,
+            verify_seconds=verify_seconds,
+            method=self.name,
+        )
+        result.report.num_database_graphs = len(self.database)
+        result.report.num_candidates = len(candidate_ids)
+        return result

@@ -1,0 +1,135 @@
+"""Shared fixtures and graph-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    GraphDatabase,
+    LabeledGraph,
+    LinearMutationDistance,
+    MutationDistance,
+    default_edge_mutation_distance,
+)
+
+ATOMS = "CCCCNOS"
+BONDS = ["single", "single", "single", "double", "aromatic"]
+
+
+# ----------------------------------------------------------------------
+# graph construction helpers (importable by tests via conftest)
+# ----------------------------------------------------------------------
+def build_graph(num_vertices, edges, vertex_labels=None, edge_labels=None, name=""):
+    """Build a graph from an edge list with optional label sequences."""
+    graph = LabeledGraph(name=name)
+    for vertex in range(num_vertices):
+        label = vertex_labels[vertex] if vertex_labels else "C"
+        graph.add_vertex(vertex, label=label)
+    for position, (u, v) in enumerate(edges):
+        label = edge_labels[position] if edge_labels else "single"
+        graph.add_edge(u, v, label=label)
+    return graph
+
+
+def path_graph(num_edges, edge_labels=None, name="path"):
+    """A path with ``num_edges`` edges."""
+    return build_graph(
+        num_edges + 1,
+        [(i, i + 1) for i in range(num_edges)],
+        edge_labels=edge_labels,
+        name=name,
+    )
+
+
+def cycle_graph(num_vertices, edge_labels=None, name="cycle"):
+    """A cycle with ``num_vertices`` vertices."""
+    return build_graph(
+        num_vertices,
+        [(i, (i + 1) % num_vertices) for i in range(num_vertices)],
+        edge_labels=edge_labels,
+        name=name,
+    )
+
+
+def random_molecule(rng, num_vertices=10, extra_edges=2):
+    """A random connected labeled graph (spanning tree + extra edges)."""
+    graph = LabeledGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex, label=rng.choice(ATOMS))
+    order = list(range(num_vertices))
+    rng.shuffle(order)
+    for position in range(1, num_vertices):
+        graph.add_edge(
+            order[position], rng.choice(order[:position]), label=rng.choice(BONDS)
+        )
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < 50:
+        attempts += 1
+        u, v = rng.sample(range(num_vertices), 2)
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v, label=rng.choice(BONDS))
+            added += 1
+    return graph
+
+
+def random_connected_subgraph(graph, num_edges, rng):
+    """A random connected subgraph with ``num_edges`` edges (or None)."""
+    from repro.datasets import sample_connected_subgraph
+
+    return sample_connected_subgraph(graph, num_edges, rng)
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def triangle():
+    """A labeled triangle."""
+    return build_graph(3, [(0, 1), (1, 2), (0, 2)], edge_labels=["single", "double", "single"])
+
+
+@pytest.fixture
+def edge_measure():
+    """The paper's experimental measure: edge-label mutation distance."""
+    return default_edge_mutation_distance()
+
+
+@pytest.fixture
+def full_measure():
+    """Mutation distance over both vertex and edge labels."""
+    return MutationDistance()
+
+
+@pytest.fixture
+def linear_measure():
+    """Linear mutation distance over edge weights only."""
+    return LinearMutationDistance(include_vertices=False, include_edges=True)
+
+
+@pytest.fixture
+def small_database():
+    """A deterministic 20-graph database of random molecules."""
+    rng = random.Random(101)
+    return GraphDatabase(
+        [random_molecule(rng, num_vertices=rng.randint(8, 14)) for _ in range(20)],
+        name="small",
+    )
+
+
+@pytest.fixture
+def small_features():
+    """A small structure feature set: paths up to 3 edges plus a triangle."""
+    from repro.mining import cycle_structure, path_structure
+
+    return [path_structure(1), path_structure(2), path_structure(3), cycle_structure(3)]
+
+
+@pytest.fixture
+def small_index(small_database, small_features, edge_measure):
+    """A fragment index built over the small database."""
+    from repro.index import FragmentIndex
+
+    return FragmentIndex(small_features, edge_measure).build(small_database)

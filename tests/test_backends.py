@@ -1,0 +1,217 @@
+"""Tests for the per-class range-query backends (trie, R-tree, VP-tree).
+
+The central property: every backend must return exactly the same range-query
+results as the linear-scan reference backend, for both categorical (mutation)
+and numeric (linear) measures where applicable.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LinearMutationDistance, MutationDistance
+from repro.index import (
+    LinearScanBackend,
+    RTreeBackend,
+    TrieBackend,
+    VPTreeBackend,
+    available_backends,
+    make_backend,
+)
+from repro.core.errors import IndexError_
+
+
+CATEGORICAL_ALPHABET = ["single", "double", "aromatic", "triple"]
+
+
+def random_categorical_sequences(rng, count, length):
+    return [
+        tuple(rng.choice(CATEGORICAL_ALPHABET) for _ in range(length))
+        for _ in range(count)
+    ]
+
+
+def random_numeric_sequences(rng, count, length):
+    return [
+        tuple(round(rng.uniform(0, 5), 3) for _ in range(length)) for _ in range(count)
+    ]
+
+
+class TestFactory:
+    def test_registered_backends(self):
+        names = available_backends()
+        assert {"linear", "trie", "rtree", "vptree"} <= set(names)
+
+    def test_auto_selection(self):
+        categorical = MutationDistance()
+        numeric = LinearMutationDistance()
+        assert make_backend("auto", categorical).name == "trie"
+        assert make_backend("auto", numeric).name == "rtree"
+
+    def test_unknown_backend(self):
+        with pytest.raises(IndexError_):
+            make_backend("btree", MutationDistance())
+
+    def test_rtree_requires_numeric_measure(self):
+        with pytest.raises(IndexError_):
+            RTreeBackend(MutationDistance())
+
+
+class TestLinearBackend:
+    def test_insert_dedupe_and_range(self):
+        measure = MutationDistance()
+        backend = LinearScanBackend(measure)
+        backend.insert(("a", "b"), 1)
+        backend.insert(("a", "b"), 1)
+        backend.insert(("a", "c"), 2)
+        assert len(backend) == 2
+        result = backend.range_query(("a", "b"), 0)
+        assert result == {1: 0.0}
+        result = backend.range_query(("a", "b"), 1)
+        assert result == {1: 0.0, 2: 1.0}
+
+    def test_keeps_min_distance_per_graph(self):
+        measure = MutationDistance()
+        backend = LinearScanBackend(measure)
+        backend.insert(("a", "b"), 7)
+        backend.insert(("x", "b"), 7)
+        assert backend.range_query(("a", "b"), 2) == {7: 0.0}
+
+    def test_graph_ids_and_entries(self):
+        backend = LinearScanBackend(MutationDistance())
+        backend.insert(("a",), 1)
+        backend.insert(("b",), 2)
+        assert backend.graph_ids() == {1, 2}
+        assert len(list(backend.entries())) == 2
+
+
+class TestTrieBackend:
+    def test_length_mismatch_rejected(self):
+        backend = TrieBackend(MutationDistance())
+        backend.insert(("a", "b"), 0)
+        with pytest.raises(ValueError):
+            backend.insert(("a",), 1)
+        with pytest.raises(ValueError):
+            backend.range_query(("a",), 1)
+
+    def test_node_count(self):
+        backend = TrieBackend(MutationDistance())
+        backend.insert(("a", "b"), 0)
+        backend.insert(("a", "c"), 1)
+        # root + 'a' + 'b' + 'c'
+        assert backend.node_count() == 4
+
+    def test_graded_costs_respected(self):
+        from repro.core import MutationScoreMatrix
+
+        matrix = MutationScoreMatrix()
+        matrix.set_score("single", "double", 0.4)
+        measure = MutationDistance(matrix=matrix, include_vertices=False)
+        backend = TrieBackend(measure)
+        backend.insert(("double", "single"), 3)
+        result = backend.range_query(("single", "single"), 0.5)
+        assert result == {3: pytest.approx(0.4)}
+        assert backend.range_query(("single", "single"), 0.3) == {}
+
+    @given(st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=30, deadline=None)
+    def test_agrees_with_linear_scan(self, seed):
+        rng = random.Random(seed)
+        measure = MutationDistance()
+        length = rng.randint(1, 6)
+        sequences = random_categorical_sequences(rng, rng.randint(1, 40), length)
+        trie = TrieBackend(measure)
+        reference = LinearScanBackend(measure)
+        for position, sequence in enumerate(sequences):
+            graph_id = position % 7
+            trie.insert(sequence, graph_id)
+            reference.insert(sequence, graph_id)
+        query = tuple(rng.choice(CATEGORICAL_ALPHABET) for _ in range(length))
+        radius = rng.choice([0, 1, 2, length])
+        assert trie.range_query(query, radius) == reference.range_query(query, radius)
+
+
+class TestRTreeBackend:
+    def test_invalid_node_capacity(self):
+        with pytest.raises(IndexError_):
+            RTreeBackend(LinearMutationDistance(), max_entries=3, min_entries=2)
+
+    def test_height_grows_with_inserts(self):
+        rng = random.Random(5)
+        backend = RTreeBackend(LinearMutationDistance(), max_entries=4, min_entries=2)
+        for position, vector in enumerate(random_numeric_sequences(rng, 60, 3)):
+            backend.insert(vector, position)
+        assert backend.height() >= 2
+        assert len(backend) == 60
+
+    def test_duplicate_entries_ignored(self):
+        backend = RTreeBackend(LinearMutationDistance())
+        backend.insert((1.0, 2.0), 4)
+        backend.insert((1.0, 2.0), 4)
+        assert len(backend) == 1
+
+    @given(st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=30, deadline=None)
+    def test_agrees_with_linear_scan(self, seed):
+        rng = random.Random(seed)
+        measure = LinearMutationDistance()
+        length = rng.randint(1, 5)
+        sequences = random_numeric_sequences(rng, rng.randint(1, 60), length)
+        rtree = RTreeBackend(measure, max_entries=6, min_entries=2)
+        reference = LinearScanBackend(measure)
+        for position, sequence in enumerate(sequences):
+            graph_id = position % 9
+            rtree.insert(sequence, graph_id)
+            reference.insert(sequence, graph_id)
+        query = tuple(round(rng.uniform(0, 5), 3) for _ in range(length))
+        radius = rng.choice([0.1, 0.5, 1.5, 4.0])
+        expected = reference.range_query(query, radius)
+        actual = rtree.range_query(query, radius)
+        assert set(actual) == set(expected)
+        for graph_id, distance in actual.items():
+            assert distance == pytest.approx(expected[graph_id])
+
+
+class TestVPTreeBackend:
+    def test_incremental_insert_then_query(self):
+        measure = MutationDistance()
+        backend = VPTreeBackend(measure)
+        backend.insert(("a", "b"), 0)
+        assert backend.range_query(("a", "b"), 0) == {0: 0.0}
+        backend.insert(("a", "c"), 1)
+        assert backend.range_query(("a", "b"), 1) == {0: 0.0, 1: 1.0}
+
+    @given(st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=30, deadline=None)
+    def test_agrees_with_linear_scan_categorical(self, seed):
+        rng = random.Random(seed)
+        measure = MutationDistance()
+        length = rng.randint(1, 6)
+        sequences = random_categorical_sequences(rng, rng.randint(1, 40), length)
+        vptree = VPTreeBackend(measure)
+        reference = LinearScanBackend(measure)
+        for position, sequence in enumerate(sequences):
+            vptree.insert(sequence, position % 5)
+            reference.insert(sequence, position % 5)
+        query = tuple(rng.choice(CATEGORICAL_ALPHABET) for _ in range(length))
+        radius = rng.choice([0, 1, 2])
+        assert vptree.range_query(query, radius) == reference.range_query(query, radius)
+
+    @given(st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=20, deadline=None)
+    def test_agrees_with_linear_scan_numeric(self, seed):
+        rng = random.Random(seed)
+        measure = LinearMutationDistance()
+        length = rng.randint(1, 4)
+        sequences = random_numeric_sequences(rng, rng.randint(1, 40), length)
+        vptree = VPTreeBackend(measure)
+        reference = LinearScanBackend(measure)
+        for position, sequence in enumerate(sequences):
+            vptree.insert(sequence, position)
+            reference.insert(sequence, position)
+        query = tuple(round(rng.uniform(0, 5), 3) for _ in range(length))
+        expected = reference.range_query(query, 1.0)
+        actual = vptree.range_query(query, 1.0)
+        assert set(actual) == set(expected)

@@ -1,0 +1,146 @@
+"""Tests for canonical codes (minimum DFS code and the brute-force oracle)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LabeledGraph,
+    adjacency_code,
+    code_to_graph,
+    is_isomorphic,
+    labeled_code,
+    min_dfs_code,
+    min_dfs_vertex_order,
+    structure_code,
+)
+
+from conftest import build_graph, cycle_graph, path_graph, random_molecule
+
+
+def random_permutation_copy(graph, rng):
+    vertices = list(graph.vertices())
+    shuffled = list(vertices)
+    rng.shuffle(shuffled)
+    return graph.relabeled(dict(zip(vertices, shuffled)))
+
+
+class TestBasics:
+    def test_isomorphic_graphs_share_codes(self):
+        a = cycle_graph(6, edge_labels=list("abcdef"))
+        b = a.relabeled({i: (i + 3) % 6 for i in range(6)})
+        assert structure_code(a) == structure_code(b)
+        assert labeled_code(a) == labeled_code(b)
+
+    def test_different_structures_differ(self):
+        star = build_graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert structure_code(path_graph(3)) != structure_code(star)
+        assert structure_code(cycle_graph(4)) != structure_code(cycle_graph(5))
+
+    def test_labels_distinguish_when_enabled(self):
+        a = path_graph(2, edge_labels=["single", "single"])
+        b = path_graph(2, edge_labels=["single", "double"])
+        assert structure_code(a) == structure_code(b)
+        assert labeled_code(a) != labeled_code(b)
+
+    def test_single_vertex_and_empty(self):
+        single = LabeledGraph()
+        single.add_vertex(0, label="C")
+        assert min_dfs_code(single)[0] == "__vertices__"
+        assert min_dfs_code(LabeledGraph()) == ("__vertices__",)
+
+    def test_disconnected_graph_code(self):
+        graph = build_graph(4, [(0, 1), (2, 3)])
+        code = min_dfs_code(graph)
+        assert code[0] == "__components__"
+        # permuting the components does not change the code
+        relabeled = graph.relabeled({0: 2, 1: 3, 2: 0, 3: 1})
+        assert min_dfs_code(relabeled) == code
+
+
+class TestCodeToGraph:
+    def test_round_trip_is_isomorphic(self):
+        original = cycle_graph(5)
+        rebuilt = code_to_graph(structure_code(original))
+        assert is_isomorphic(original, rebuilt)
+        assert sorted(rebuilt.vertices()) == list(range(5))
+
+    def test_labeled_round_trip(self):
+        original = build_graph(
+            4, [(0, 1), (1, 2), (2, 3), (3, 0)],
+            vertex_labels="CNOC", edge_labels=["a", "b", "a", "c"],
+        )
+        rebuilt = code_to_graph(labeled_code(original))
+        assert rebuilt.num_edges == original.num_edges
+        assert sorted(rebuilt.vertex_labels().values()) == sorted(
+            original.vertex_labels().values()
+        )
+        assert labeled_code(rebuilt) == labeled_code(original)
+
+    def test_disconnected_code_rejected(self):
+        graph = build_graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            code_to_graph(min_dfs_code(graph))
+
+
+class TestVertexOrder:
+    def test_order_is_permutation(self):
+        graph = cycle_graph(6)
+        order = min_dfs_vertex_order(graph)
+        assert sorted(order) == sorted(graph.vertices())
+
+    def test_order_requires_connected(self):
+        graph = build_graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            min_dfs_vertex_order(graph)
+
+
+class TestAgainstOracle:
+    """The DFS code must induce the same equivalence classes as the
+    brute-force adjacency-matrix canonical form."""
+
+    @pytest.mark.parametrize("trial", range(20))
+    def test_invariance_matches_oracle(self, trial):
+        rng = random.Random(trial)
+        graph = random_molecule(rng, num_vertices=rng.randint(3, 7), extra_edges=rng.randint(0, 3))
+        permuted = random_permutation_copy(graph, rng)
+        assert min_dfs_code(graph) == min_dfs_code(permuted)
+        assert adjacency_code(graph) == adjacency_code(permuted)
+
+    @pytest.mark.parametrize("trial", range(15))
+    def test_equivalence_classes_agree(self, trial):
+        rng_a = random.Random(1000 + trial)
+        rng_b = random.Random(2000 + trial)
+        a = random_molecule(rng_a, num_vertices=6, extra_edges=2)
+        b = random_molecule(rng_b, num_vertices=6, extra_edges=2)
+        same_by_dfs = labeled_code(a) == labeled_code(b)
+        same_by_oracle = adjacency_code(a) == adjacency_code(b)
+        assert same_by_dfs == same_by_oracle
+
+    def test_oracle_size_limit(self):
+        graph = path_graph(10)
+        with pytest.raises(ValueError):
+            adjacency_code(graph)
+
+
+class TestInvarianceProperty:
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_codes_invariant_under_relabeling(self, seed):
+        rng = random.Random(seed)
+        graph = random_molecule(
+            rng, num_vertices=rng.randint(2, 8), extra_edges=rng.randint(0, 3)
+        )
+        permuted = random_permutation_copy(graph, rng)
+        assert structure_code(graph) == structure_code(permuted)
+        assert labeled_code(graph) == labeled_code(permuted)
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_code_rebuilds_isomorphic_structure(self, seed):
+        rng = random.Random(seed)
+        graph = random_molecule(rng, num_vertices=rng.randint(2, 7), extra_edges=1)
+        rebuilt = code_to_graph(structure_code(graph))
+        assert is_isomorphic(graph, rebuilt)

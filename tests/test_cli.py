@@ -1,0 +1,97 @@
+"""End-to-end tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def generated_db(tmp_path):
+    path = tmp_path / "db.json"
+    assert main(["generate", "--count", "15", "--seed", "3", "--output", str(path)]) == 0
+    return path
+
+
+@pytest.fixture
+def built_index(tmp_path, generated_db):
+    path = tmp_path / "index.json"
+    code = main(
+        [
+            "index",
+            "--database",
+            str(generated_db),
+            "--max-edges",
+            "3",
+            "--output",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("generate", "index", "query", "stats", "experiments"):
+            arguments = parser.parse_args(
+                [command] + {
+                    "generate": ["--output", "x.json"],
+                    "index": ["--database", "d.json", "--output", "i.json"],
+                    "query": ["--database", "d.json", "--index", "i.json"],
+                    "stats": [],
+                    "experiments": [],
+                }[command]
+            )
+            assert arguments.command == command
+
+
+class TestCommands:
+    def test_generate_writes_database(self, generated_db):
+        data = json.loads(generated_db.read_text())
+        assert len(data["graphs"]) == 15
+        assert all(graph["edges"] for graph in data["graphs"])
+
+    def test_index_writes_index(self, built_index):
+        data = json.loads(built_index.read_text())
+        assert data["format"] == "pis-fragment-index"
+        assert data["classes"]
+        assert data["measure"]["name"] == "mutation"
+
+    def test_query_runs_and_agrees_with_naive(self, generated_db, built_index, capsys):
+        code = main(
+            [
+                "query",
+                "--database",
+                str(generated_db),
+                "--index",
+                str(built_index),
+                "--edges",
+                "6",
+                "--count",
+                "2",
+                "--sigma",
+                "1",
+                "--compare-naive",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert output.count("naive-agrees=True") == 2
+
+    def test_stats_reports_both(self, generated_db, built_index, capsys):
+        assert (
+            main(["stats", "--database", str(generated_db), "--index", str(built_index)])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "num_graphs" in output and "num_classes" in output
+
+    def test_stats_without_arguments_fails(self, capsys):
+        assert main(["stats"]) == 2

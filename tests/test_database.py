@@ -1,0 +1,85 @@
+"""Tests for the graph database container and its statistics."""
+
+import pytest
+
+from repro.core import DatasetError, GraphDatabase, LabeledGraph
+
+from conftest import build_graph, cycle_graph, path_graph
+
+
+class TestContainer:
+    def test_add_and_lookup(self):
+        database = GraphDatabase()
+        first = database.add(cycle_graph(3))
+        second = database.add(path_graph(2))
+        assert first == 0 and second == 1
+        assert database[0].num_edges == 3
+        assert len(database) == 2
+        assert list(database.graph_ids()) == [0, 1]
+
+    def test_items_iteration(self):
+        database = GraphDatabase([cycle_graph(3), path_graph(4)])
+        items = list(database.items())
+        assert [gid for gid, _ in items] == [0, 1]
+        assert items[1][1].num_edges == 4
+
+    def test_extend(self):
+        database = GraphDatabase()
+        ids = database.extend([cycle_graph(3), cycle_graph(4)])
+        assert ids == [0, 1]
+
+    def test_invalid_id(self):
+        database = GraphDatabase([cycle_graph(3)])
+        with pytest.raises(DatasetError):
+            database[5]
+
+    def test_non_graph_rejected(self):
+        database = GraphDatabase()
+        with pytest.raises(DatasetError):
+            database.add("not a graph")
+
+
+class TestStats:
+    def test_statistics(self):
+        a = build_graph(3, [(0, 1), (1, 2)], vertex_labels="CCN", edge_labels=["s", "s"])
+        b = build_graph(2, [(0, 1)], vertex_labels="CO", edge_labels=["d"])
+        stats = GraphDatabase([a, b]).stats()
+        assert stats.num_graphs == 2
+        assert stats.avg_vertices == pytest.approx(2.5)
+        assert stats.avg_edges == pytest.approx(1.5)
+        assert stats.dominant_vertex_label() == "C"
+        assert stats.dominant_edge_label() == "s"
+        as_dict = stats.as_dict()
+        assert as_dict["max_edges"] == 2
+        assert 0 < as_dict["dominant_vertex_label_share"] <= 1
+
+    def test_empty_database_stats(self):
+        stats = GraphDatabase().stats()
+        assert stats.num_graphs == 0
+        assert stats.dominant_vertex_label() is None
+        assert stats.as_dict()["avg_vertices"] == 0
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        database = GraphDatabase(
+            [cycle_graph(4, edge_labels=["a", "b", "c", "d"]), path_graph(2)],
+            name="demo",
+        )
+        path = tmp_path / "db.json"
+        database.save(path)
+        loaded = GraphDatabase.load(path)
+        assert len(loaded) == 2
+        assert loaded.name == "demo"
+        assert loaded[0].edge_label(0, 1) == "a"
+        assert loaded[1].num_edges == 2
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            GraphDatabase.load(tmp_path / "missing.json")
+
+    def test_load_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            GraphDatabase.load(path)

@@ -1,0 +1,170 @@
+"""Tests for dataset generators, example molecules, and query workloads."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    GraphDatabase,
+    default_edge_mutation_distance,
+    is_subgraph,
+    minimum_superimposed_distance,
+)
+from repro.datasets import (
+    ChemicalGeneratorConfig,
+    ChemicalGraphGenerator,
+    QueryWorkload,
+    WeightedGraphGenerator,
+    digitoxigenin_like,
+    example_database,
+    figure2_query,
+    generate_chemical_database,
+    generate_weighted_database,
+    indene_like,
+    mutate_edge_labels,
+    omephine_like,
+    sample_connected_subgraph,
+)
+from repro.core.errors import DatasetError
+
+from conftest import cycle_graph, path_graph
+
+
+class TestChemicalGenerator:
+    def test_reproducible(self):
+        first = generate_chemical_database(10, seed=3)
+        second = generate_chemical_database(10, seed=3)
+        assert [g.to_dict() for g in first] == [g.to_dict() for g in second]
+        different = generate_chemical_database(10, seed=4)
+        assert [g.to_dict() for g in first] != [g.to_dict() for g in different]
+
+    def test_graphs_are_connected_and_labeled(self):
+        database = generate_chemical_database(15, seed=9)
+        for graph in database:
+            assert graph.is_connected()
+            assert graph.num_edges >= graph.num_vertices - 1
+            for vertex in graph.vertices():
+                assert isinstance(graph.vertex_label(vertex), str)
+
+    def test_statistics_match_paper_profile(self):
+        database = generate_chemical_database(120, seed=7)
+        stats = database.stats().as_dict()
+        assert 20 <= stats["avg_vertices"] <= 32
+        assert 22 <= stats["avg_edges"] <= 34
+        assert stats["dominant_vertex_label"] == "C"
+        assert stats["dominant_vertex_label_share"] > 0.6
+        assert stats["dominant_edge_label"] == "single"
+        assert stats["dominant_edge_label_share"] > 0.6
+
+    def test_custom_config(self):
+        config = ChemicalGeneratorConfig(
+            min_rings=1, max_rings=1, min_chains=0, max_chains=1,
+            min_chain_length=1, max_chain_length=1,
+            ring_size_families=((5,),), family_weights=(1.0,),
+        )
+        database = ChemicalGraphGenerator(config, seed=1).generate(5)
+        assert all(graph.num_vertices <= 8 for graph in database)
+
+
+class TestWeightedGenerator:
+    def test_weights_assigned_everywhere(self):
+        database = generate_weighted_database(8, seed=2)
+        for graph in database:
+            for (u, v) in graph.edges():
+                assert graph.edge_weight(u, v) > 0
+            for vertex in graph.vertices():
+                assert 0 <= graph.vertex_weight(vertex) <= 1
+
+    def test_bond_length_means_ordered(self):
+        database = generate_weighted_database(30, seed=6)
+        singles, doubles = [], []
+        for graph in database:
+            for (u, v) in graph.edges():
+                if graph.edge_label(u, v) == "single":
+                    singles.append(graph.edge_weight(u, v))
+                elif graph.edge_label(u, v) == "double":
+                    doubles.append(graph.edge_weight(u, v))
+        assert sum(singles) / len(singles) > sum(doubles) / len(doubles)
+
+
+class TestExampleMolecules:
+    def test_paper_distances(self, edge_measure):
+        query = figure2_query()
+        assert minimum_superimposed_distance(query, indene_like(), edge_measure) == 1.0
+        assert minimum_superimposed_distance(query, omephine_like(), edge_measure) == 3.0
+        assert (
+            minimum_superimposed_distance(query, digitoxigenin_like(), edge_measure)
+            == 1.0
+        )
+
+    def test_query_structure_contained_in_all(self):
+        query = figure2_query()
+        for graph in example_database():
+            assert is_subgraph(query, graph)
+
+    def test_example_database_order(self):
+        names = [graph.name for graph in example_database()]
+        assert names == ["1H-indene", "omephine", "digitoxigenin"]
+
+
+class TestQuerySampling:
+    def test_sample_connected_subgraph_properties(self):
+        rng = random.Random(4)
+        graph = generate_chemical_database(1, seed=5)[0]
+        for num_edges in (1, 4, 8):
+            sample = sample_connected_subgraph(graph, num_edges, rng)
+            assert sample is not None
+            assert sample.num_edges == num_edges
+            assert sample.is_connected()
+            assert is_subgraph(sample, graph)
+
+    def test_sample_too_large_returns_none(self):
+        rng = random.Random(1)
+        assert sample_connected_subgraph(path_graph(2), 5, rng) is None
+
+    def test_sample_invalid_size(self):
+        with pytest.raises(ValueError):
+            sample_connected_subgraph(cycle_graph(3), 0, random.Random(0))
+
+    def test_mutate_edge_labels_distance(self, edge_measure):
+        rng = random.Random(7)
+        graph = cycle_graph(6, edge_labels=["single"] * 6)
+        mutated = mutate_edge_labels(graph, 2, ["single", "double"], rng)
+        changed = sum(
+            1
+            for (u, v) in graph.edges()
+            if graph.edge_label(u, v) != mutated.edge_label(u, v)
+        )
+        assert changed == 2
+
+    def test_mutate_errors(self):
+        rng = random.Random(0)
+        with pytest.raises(DatasetError):
+            mutate_edge_labels(path_graph(2), 5, ["a", "b"], rng)
+        with pytest.raises(DatasetError):
+            mutate_edge_labels(path_graph(2, edge_labels=["a", "a"]), 1, ["a"], rng)
+        with pytest.raises(ValueError):
+            mutate_edge_labels(path_graph(2), -1, ["a", "b"], rng)
+
+    def test_workload_reproducible_and_sized(self):
+        database = generate_chemical_database(25, seed=11)
+        workload = QueryWorkload(database, seed=3)
+        queries_a = workload.sample_queries(10, 5)
+        queries_b = QueryWorkload(database, seed=3).sample_queries(10, 5)
+        assert [q.to_dict() for q in queries_a] == [q.to_dict() for q in queries_b]
+        assert all(q.num_edges == 10 for q in queries_a)
+
+    def test_workload_rejects_oversized_queries(self):
+        database = GraphDatabase([path_graph(3)])
+        workload = QueryWorkload(database)
+        with pytest.raises(DatasetError):
+            workload.sample_queries(10, 1)
+
+    def test_mutated_workload(self):
+        database = generate_chemical_database(15, seed=13)
+        workload = QueryWorkload(database, seed=5)
+        queries = workload.sample_mutated_queries(
+            8, 3, num_mutations=1, alphabet=["single", "double", "aromatic"]
+        )
+        assert len(queries) == 3
+        assert all(q.num_edges == 8 for q in queries)

@@ -1,0 +1,87 @@
+"""Tests for connected fragment enumeration."""
+
+import random
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    count_connected_fragments,
+    fragment_from_edges,
+    iter_connected_edge_sets,
+    iter_connected_fragments,
+)
+
+from conftest import build_graph, cycle_graph, path_graph, random_molecule
+
+
+def brute_force_edge_sets(graph, max_edges, min_edges=1):
+    """Reference enumeration by filtering all edge subsets."""
+    all_edges = list(graph.edges())
+    found = set()
+    for size in range(min_edges, max_edges + 1):
+        for subset in combinations(all_edges, size):
+            if graph.edge_subgraph(subset).is_connected():
+                found.add(frozenset(subset))
+    return found
+
+
+class TestSmallCases:
+    def test_triangle_counts(self):
+        triangle = cycle_graph(3)
+        assert count_connected_fragments(triangle, max_edges=1) == 3
+        assert count_connected_fragments(triangle, max_edges=2) == 6
+        assert count_connected_fragments(triangle, max_edges=3) == 7
+
+    def test_path_counts(self):
+        # a path with k edges has k*(k+1)/2 connected sub-paths
+        path = path_graph(4)
+        assert count_connected_fragments(path, max_edges=4) == 10
+
+    def test_min_edges_filter(self):
+        triangle = cycle_graph(3)
+        sets = list(iter_connected_edge_sets(triangle, max_edges=3, min_edges=2))
+        assert all(len(s) >= 2 for s in sets)
+        assert len(sets) == 4
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            list(iter_connected_edge_sets(cycle_graph(3), max_edges=0))
+        with pytest.raises(ValueError):
+            list(iter_connected_edge_sets(cycle_graph(3), max_edges=2, min_edges=3))
+
+    def test_fragment_materialization_preserves_labels(self):
+        graph = cycle_graph(4, edge_labels=["a", "b", "c", "d"])
+        edge_set = next(iter(iter_connected_edge_sets(graph, max_edges=2, min_edges=2)))
+        fragment = fragment_from_edges(graph, edge_set)
+        assert fragment.num_edges == 2
+        for (u, v) in fragment.edges():
+            assert fragment.edge_label(u, v) == graph.edge_label(u, v)
+
+    def test_iter_connected_fragments_are_connected(self):
+        graph = cycle_graph(5)
+        for fragment in iter_connected_fragments(graph, max_edges=3):
+            assert fragment.is_connected()
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("trial", range(8))
+    def test_matches_brute_force_enumeration(self, trial):
+        rng = random.Random(trial)
+        graph = random_molecule(rng, num_vertices=rng.randint(5, 8), extra_edges=2)
+        expected = brute_force_edge_sets(graph, max_edges=3)
+        actual = set(iter_connected_edge_sets(graph, max_edges=3))
+        assert actual == expected
+
+    @given(st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=20, deadline=None)
+    def test_no_duplicates_and_all_connected(self, seed):
+        rng = random.Random(seed)
+        graph = random_molecule(rng, num_vertices=rng.randint(4, 8), extra_edges=2)
+        seen = []
+        for edge_set in iter_connected_edge_sets(graph, max_edges=4):
+            assert graph.edge_subgraph(edge_set).is_connected()
+            seen.append(edge_set)
+        assert len(seen) == len(set(seen))

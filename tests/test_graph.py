@@ -1,0 +1,219 @@
+"""Unit tests for the labeled graph model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DEFAULT_LABEL,
+    DuplicateEdgeError,
+    DuplicateVertexError,
+    EdgeNotFoundError,
+    LabeledGraph,
+    VertexNotFoundError,
+    edge_key,
+)
+
+from conftest import build_graph, cycle_graph, path_graph
+
+
+class TestConstruction:
+    def test_add_vertex_and_edge(self):
+        graph = LabeledGraph(name="g")
+        graph.add_vertex(0, label="C")
+        graph.add_vertex(1, label="N", weight=0.5)
+        graph.add_edge(0, 1, label="single", weight=1.5)
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 1
+        assert graph.vertex_label(0) == "C"
+        assert graph.vertex_weight(1) == 0.5
+        assert graph.edge_label(1, 0) == "single"
+        assert graph.edge_weight(0, 1) == 1.5
+
+    def test_duplicate_vertex_rejected(self):
+        graph = LabeledGraph()
+        graph.add_vertex(0)
+        with pytest.raises(DuplicateVertexError):
+            graph.add_vertex(0)
+
+    def test_duplicate_edge_rejected(self):
+        graph = build_graph(2, [(0, 1)])
+        with pytest.raises(DuplicateEdgeError):
+            graph.add_edge(1, 0)
+
+    def test_edge_requires_existing_vertices(self):
+        graph = LabeledGraph()
+        graph.add_vertex(0)
+        with pytest.raises(VertexNotFoundError):
+            graph.add_edge(0, 7)
+
+    def test_self_loop_rejected(self):
+        graph = LabeledGraph()
+        graph.add_vertex(0)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 0)
+
+    def test_default_label(self):
+        graph = LabeledGraph()
+        graph.add_vertex("a")
+        assert graph.vertex_label("a") == DEFAULT_LABEL
+
+    def test_missing_lookups_raise(self):
+        graph = build_graph(2, [(0, 1)])
+        with pytest.raises(VertexNotFoundError):
+            graph.vertex_label(9)
+        with pytest.raises(EdgeNotFoundError):
+            graph.edge_label(0, 9)
+        with pytest.raises(VertexNotFoundError):
+            graph.neighbors(9)
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        graph = build_graph(3, [(0, 1), (1, 2)])
+        graph.remove_edge(1, 0)
+        assert not graph.has_edge(0, 1)
+        assert graph.num_edges == 1
+
+    def test_remove_vertex_drops_incident_edges(self):
+        graph = cycle_graph(4)
+        graph.remove_vertex(0)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+
+    def test_remove_missing_raises(self):
+        graph = build_graph(2, [(0, 1)])
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(0, 5)
+        with pytest.raises(VertexNotFoundError):
+            graph.remove_vertex(5)
+
+
+class TestAccessors:
+    def test_neighbors_and_degree(self):
+        graph = build_graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert graph.neighbors(0) == {1, 2, 3}
+        assert graph.degree(0) == 3
+        assert graph.degree(1) == 1
+
+    def test_label_mutation(self):
+        graph = build_graph(2, [(0, 1)])
+        graph.set_vertex_label(0, "N")
+        graph.set_edge_label(0, 1, "double")
+        graph.set_edge_weight(0, 1, 2.5)
+        graph.set_vertex_weight(1, 0.25)
+        assert graph.vertex_label(0) == "N"
+        assert graph.edge_label(0, 1) == "double"
+        assert graph.edge_weight(0, 1) == 2.5
+        assert graph.vertex_weight(1) == 0.25
+
+    def test_stats(self):
+        graph = build_graph(
+            4, [(0, 1), (1, 2), (2, 3)], vertex_labels="CNOC", edge_labels=["s", "d", "s"]
+        )
+        stats = graph.stats()
+        assert stats.num_vertices == 4
+        assert stats.num_edges == 3
+        assert stats.num_vertex_labels == 3
+        assert stats.num_edge_labels == 2
+        assert stats.max_degree == 2
+        assert stats.as_dict()["num_vertices"] == 4
+
+    def test_contains_and_len(self):
+        graph = build_graph(3, [(0, 1)])
+        assert 0 in graph
+        assert 9 not in graph
+        assert len(graph) == 3
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        graph = build_graph(3, [(0, 1), (1, 2)])
+        clone = graph.copy()
+        clone.set_edge_label(0, 1, "x")
+        assert graph.edge_label(0, 1) != "x"
+        assert clone == clone.copy()
+
+    def test_subgraph_induced(self):
+        graph = cycle_graph(5)
+        sub = graph.subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+
+    def test_subgraph_missing_vertex_raises(self):
+        graph = cycle_graph(4)
+        with pytest.raises(VertexNotFoundError):
+            graph.subgraph([0, 9])
+
+    def test_edge_subgraph(self):
+        graph = cycle_graph(5, edge_labels=["a", "b", "c", "d", "e"])
+        sub = graph.edge_subgraph([(0, 1), (2, 3)])
+        assert sub.num_edges == 2
+        assert sub.num_vertices == 4
+        assert sub.edge_label(0, 1) == "a"
+
+    def test_relabeled_preserves_structure(self):
+        graph = path_graph(3, edge_labels=["a", "b", "c"])
+        mapping = {0: 10, 1: 11, 2: 12, 3: 13}
+        renamed = graph.relabeled(mapping)
+        assert renamed.has_edge(10, 11)
+        assert renamed.edge_label(11, 12) == "b"
+        assert renamed.num_edges == graph.num_edges
+
+    def test_relabeled_requires_bijection(self):
+        graph = path_graph(2)
+        with pytest.raises(ValueError):
+            graph.relabeled({0: 1, 1: 1, 2: 2})
+        with pytest.raises(ValueError):
+            graph.relabeled({0: 1})
+
+    def test_skeleton_strips_labels(self):
+        graph = build_graph(3, [(0, 1), (1, 2)], vertex_labels="CNO", edge_labels=["a", "b"])
+        skeleton = graph.skeleton()
+        assert skeleton.vertex_label(0) == DEFAULT_LABEL
+        assert skeleton.edge_label(0, 1) == DEFAULT_LABEL
+        assert skeleton.num_edges == graph.num_edges
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert cycle_graph(4).is_connected()
+        assert LabeledGraph().is_connected()
+
+    def test_disconnected(self):
+        graph = build_graph(4, [(0, 1), (2, 3)])
+        assert not graph.is_connected()
+        components = graph.connected_components()
+        assert sorted(sorted(c) for c in components) == [[0, 1], [2, 3]]
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        graph = build_graph(
+            3, [(0, 1), (1, 2)], vertex_labels="CNO", edge_labels=["s", "d"]
+        )
+        graph.set_edge_weight(0, 1, 1.5)
+        rebuilt = LabeledGraph.from_dict(graph.to_dict())
+        assert rebuilt == graph
+
+    def test_from_edges(self):
+        graph = LabeledGraph.from_edges(
+            [(0, 1), (1, 2)],
+            vertex_labels={0: "C", 1: "N"},
+            edge_labels={(1, 0): "double"},
+        )
+        assert graph.vertex_label(1) == "N"
+        assert graph.vertex_label(2) == DEFAULT_LABEL
+        assert graph.edge_label(0, 1) == "double"
+
+
+class TestEdgeKey:
+    def test_symmetric(self):
+        assert edge_key(3, 1) == edge_key(1, 3)
+        assert edge_key("b", "a") == edge_key("a", "b")
+
+    @given(st.integers(), st.integers())
+    @settings(max_examples=50, deadline=None)
+    def test_symmetric_property(self, u, v):
+        assert edge_key(u, v) == edge_key(v, u)

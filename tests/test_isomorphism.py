@@ -1,0 +1,160 @@
+"""Unit and property tests for subgraph isomorphism / embedding enumeration."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    automorphisms,
+    count_embeddings,
+    find_embeddings,
+    has_embedding,
+    is_isomorphic,
+    is_subgraph,
+    iter_embeddings,
+)
+
+from conftest import build_graph, cycle_graph, path_graph, random_molecule
+
+
+def to_networkx(graph):
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.vertices())
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+class TestBasicCases:
+    def test_single_edge_in_triangle(self, triangle):
+        assert count_embeddings(path_graph(1), triangle) == 6
+
+    def test_path2_in_triangle(self, triangle):
+        assert count_embeddings(path_graph(2), triangle) == 6
+
+    def test_triangle_not_in_path(self):
+        assert not has_embedding(cycle_graph(3), path_graph(5))
+
+    def test_cycle_in_larger_cycle_absent(self):
+        # a 4-cycle cannot embed into a 5-cycle (structure-only monomorphism)
+        assert not has_embedding(cycle_graph(4), cycle_graph(5))
+
+    def test_subgraph_of_itself(self, triangle):
+        assert is_subgraph(triangle, triangle)
+
+    def test_empty_pattern(self, triangle):
+        embeddings = find_embeddings(build_graph(0, []), triangle)
+        assert len(embeddings) == 1
+        assert embeddings[0].mapping == {}
+
+    def test_pattern_larger_than_target(self, triangle):
+        assert not has_embedding(cycle_graph(4), triangle)
+
+    def test_limit(self, triangle):
+        assert len(find_embeddings(path_graph(1), triangle, limit=2)) == 2
+
+    def test_labels_are_ignored(self):
+        a = build_graph(2, [(0, 1)], vertex_labels="CN", edge_labels=["double"])
+        b = build_graph(2, [(0, 1)], vertex_labels="OS", edge_labels=["single"])
+        assert is_subgraph(a, b)
+
+    def test_vertex_compatibility_hook(self):
+        pattern = build_graph(2, [(0, 1)], vertex_labels="CN")
+        target = build_graph(3, [(0, 1), (1, 2)], vertex_labels="CNC")
+
+        def same_label(p, pv, t, tv):
+            return p.vertex_label(pv) == t.vertex_label(tv)
+
+        embeddings = find_embeddings(pattern, target, vertex_compatible=same_label)
+        assert embeddings
+        for embedding in embeddings:
+            for pv, tv in embedding.mapping.items():
+                assert pattern.vertex_label(pv) == target.vertex_label(tv)
+
+
+class TestEmbeddingObject:
+    def test_image_subgraph_preserves_labels(self, triangle):
+        pattern = path_graph(2)
+        embedding = find_embeddings(pattern, triangle)[0]
+        image = embedding.image_subgraph(pattern, triangle)
+        assert image.num_vertices == 3
+        assert image.num_edges == 2
+        for (u, v) in image.edges():
+            assert image.edge_label(u, v) == triangle.edge_label(u, v)
+
+    def test_edge_pairs_cover_pattern_edges(self, triangle):
+        pattern = cycle_graph(3)
+        embedding = find_embeddings(pattern, triangle)[0]
+        pairs = embedding.edge_pairs(pattern)
+        assert len(pairs) == 3
+        assert {frozenset(qe) for qe, _ in pairs} == {
+            frozenset(e) for e in pattern.edges()
+        }
+
+
+class TestIsomorphism:
+    def test_isomorphic_cycles(self):
+        a = cycle_graph(5)
+        b = a.relabeled({i: (i + 2) % 5 for i in range(5)})
+        assert is_isomorphic(a, b)
+
+    def test_not_isomorphic_different_structure(self):
+        assert not is_isomorphic(path_graph(3), build_graph(4, [(0, 1), (0, 2), (0, 3)]))
+
+    def test_automorphisms_of_cycle(self):
+        # dihedral group: 2n automorphisms for an n-cycle
+        assert len(automorphisms(cycle_graph(4))) == 8
+        assert len(automorphisms(cycle_graph(5))) == 10
+
+    def test_automorphisms_of_path(self):
+        assert len(automorphisms(path_graph(3))) == 2
+
+
+class TestAgainstNetworkx:
+    """Cross-validation against networkx's VF2 on random graphs."""
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_subgraph_monomorphism_agrees(self, trial):
+        rng = random.Random(trial)
+        target = random_molecule(rng, num_vertices=9, extra_edges=3)
+        pattern_edges = rng.randint(2, 5)
+        from repro.datasets import sample_connected_subgraph
+
+        pattern = sample_connected_subgraph(target, pattern_edges, rng)
+        other = random_molecule(random.Random(trial + 100), num_vertices=9)
+
+        for host in (target, other):
+            matcher = nx.algorithms.isomorphism.GraphMatcher(
+                to_networkx(host), to_networkx(pattern)
+            )
+            assert has_embedding(pattern, host) == matcher.subgraph_is_monomorphic()
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_embedding_count_agrees(self, trial):
+        rng = random.Random(50 + trial)
+        target = random_molecule(rng, num_vertices=8, extra_edges=2)
+        pattern = path_graph(rng.randint(1, 3))
+        matcher = nx.algorithms.isomorphism.GraphMatcher(
+            to_networkx(target), to_networkx(pattern)
+        )
+        expected = sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+        assert count_embeddings(pattern, target) == expected
+
+
+class TestEmbeddingValidity:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_every_embedding_preserves_adjacency(self, seed):
+        rng = random.Random(seed)
+        target = random_molecule(rng, num_vertices=rng.randint(6, 10), extra_edges=2)
+        from repro.datasets import sample_connected_subgraph
+
+        pattern = sample_connected_subgraph(target, rng.randint(2, 4), rng)
+        for embedding in iter_embeddings(pattern, target, limit=50):
+            # injective
+            assert len(set(embedding.mapping.values())) == len(embedding.mapping)
+            # adjacency preserving
+            for (u, v) in pattern.edges():
+                assert target.has_edge(embedding.mapping[u], embedding.mapping[v])

@@ -1,0 +1,185 @@
+"""Tests for feature selection: paths, exhaustive, frequent mining, gIndex."""
+
+import random
+
+import pytest
+
+from repro.core import GraphDatabase, is_isomorphic, structure_code, has_embedding
+from repro.mining import (
+    ExhaustiveFeatureSelector,
+    FeatureSelector,
+    FrequentStructureMiner,
+    GIndexFeatureSelector,
+    GSpanFeatureSelector,
+    PathFeatureSelector,
+    cycle_structure,
+    deduplicate_structures,
+    path_structure,
+)
+
+from conftest import build_graph, cycle_graph, path_graph, random_molecule
+
+
+@pytest.fixture
+def tiny_database():
+    """Six small graphs with a mix of rings and trees."""
+    rng = random.Random(7)
+    graphs = [
+        cycle_graph(3),
+        cycle_graph(4),
+        path_graph(4),
+        random_molecule(rng, num_vertices=7, extra_edges=1),
+        random_molecule(rng, num_vertices=8, extra_edges=2),
+        random_molecule(rng, num_vertices=6, extra_edges=0),
+    ]
+    return GraphDatabase(graphs)
+
+
+class TestHelpers:
+    def test_resolve_min_support(self):
+        assert FeatureSelector.resolve_min_support(0.5, 10) == 5
+        assert FeatureSelector.resolve_min_support(3, 10) == 3
+        assert FeatureSelector.resolve_min_support(0, 10) == 1
+        assert FeatureSelector.resolve_min_support(0.01, 10) == 1
+
+    def test_deduplicate_structures(self):
+        structures = [path_structure(2), path_graph(2), cycle_structure(3)]
+        unique = deduplicate_structures(structures)
+        assert len(unique) == 2
+
+    def test_path_and_cycle_builders(self):
+        assert path_structure(3).num_edges == 3
+        assert cycle_structure(5).num_edges == 5
+        with pytest.raises(ValueError):
+            path_structure(0)
+        with pytest.raises(ValueError):
+            cycle_structure(2)
+
+
+class TestPathSelector:
+    def test_selects_paths_and_cycles(self, tiny_database):
+        features = PathFeatureSelector(max_path_edges=3, max_cycle_vertices=4).select(
+            tiny_database
+        )
+        codes = {structure_code(f) for f in features}
+        assert structure_code(path_structure(1)) in codes
+        assert structure_code(path_structure(3)) in codes
+        assert structure_code(cycle_structure(3)) in codes
+        assert structure_code(cycle_structure(4)) in codes
+
+    def test_without_cycles(self, tiny_database):
+        features = PathFeatureSelector(max_path_edges=2, include_cycles=False).select(
+            tiny_database
+        )
+        assert len(features) == 2
+
+
+class TestExhaustiveSelector:
+    def test_every_selected_structure_is_frequent(self, tiny_database):
+        selector = ExhaustiveFeatureSelector(max_edges=3, min_support=0.5)
+        supports = selector.select_supports(tiny_database)
+        threshold = FeatureSelector.resolve_min_support(0.5, len(tiny_database))
+        for support in supports:
+            assert support.support >= threshold
+            # sanity: the recorded support matches a containment re-count
+            recount = sum(
+                1
+                for _, graph in tiny_database.items()
+                if has_embedding(support.structure, graph)
+            )
+            assert recount >= support.support
+
+    def test_max_features_cap_prefers_larger(self, tiny_database):
+        selector = ExhaustiveFeatureSelector(max_edges=3, min_support=0.3, max_features=4)
+        features = selector.select(tiny_database)
+        assert len(features) <= 4
+        assert features[0].num_edges >= features[-1].num_edges
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            ExhaustiveFeatureSelector(min_edges=3, max_edges=2)
+
+    def test_sampled_enumeration(self, tiny_database):
+        selector = ExhaustiveFeatureSelector(
+            max_edges=2, min_support=0.4, sample_size=3, count_support_on_sample=False
+        )
+        features = selector.select(tiny_database)
+        assert features
+
+
+class TestFrequentMiner:
+    def test_single_edge_always_first(self, tiny_database):
+        miner = FrequentStructureMiner(min_support=1.0, max_edges=2)
+        results = miner.mine(tiny_database)
+        assert results
+        assert results[0].num_edges == 1
+        assert results[0].support == len(tiny_database)
+
+    def test_antimonotone_support(self, tiny_database):
+        miner = FrequentStructureMiner(min_support=0.3, max_edges=3)
+        results = miner.mine(tiny_database)
+        by_code = {r.code: r for r in results}
+        for result in results:
+            if result.num_edges <= 1:
+                continue
+            # every sub-structure obtained by deleting one leaf edge must have
+            # support at least as large (when it was mined)
+            for other in results:
+                if other.num_edges == result.num_edges - 1 and has_embedding(
+                    other.structure, result.structure
+                ):
+                    assert other.support >= result.support
+
+    def test_matches_exhaustive_enumeration(self, tiny_database):
+        """The miner must find exactly the frequent structures the exhaustive
+        selector finds (same codes), for the same threshold."""
+        min_support = 0.5
+        max_edges = 3
+        mined = FrequentStructureMiner(min_support=min_support, max_edges=max_edges).mine(
+            tiny_database
+        )
+        exhaustive = ExhaustiveFeatureSelector(
+            max_edges=max_edges, min_support=min_support
+        ).select_supports(tiny_database)
+        mined_codes = {m.code for m in mined}
+        exhaustive_codes = {e.code for e in exhaustive}
+        assert mined_codes == exhaustive_codes
+        # supports agree as well
+        mined_by_code = {m.code: m.support for m in mined}
+        for entry in exhaustive:
+            assert mined_by_code[entry.code] == entry.support
+
+    def test_gspan_selector_cap(self, tiny_database):
+        features = GSpanFeatureSelector(
+            min_support=0.3, max_edges=3, max_features=5
+        ).select(tiny_database)
+        assert 0 < len(features) <= 5
+
+
+class TestGIndexSelector:
+    def test_single_edges_always_selected(self, tiny_database):
+        selector = GIndexFeatureSelector(min_support=0.3, max_edges=3, gamma=1.0)
+        supports = selector.select_supports(tiny_database)
+        assert any(s.num_edges == 1 for s in supports)
+
+    def test_gamma_reduces_feature_count(self, tiny_database):
+        permissive = GIndexFeatureSelector(min_support=0.3, max_edges=3, gamma=1.0)
+        strict = GIndexFeatureSelector(min_support=0.3, max_edges=3, gamma=3.0)
+        assert len(strict.select(tiny_database)) <= len(permissive.select(tiny_database))
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            GIndexFeatureSelector(gamma=0.5)
+
+    def test_max_features_cap(self, tiny_database):
+        selector = GIndexFeatureSelector(
+            min_support=0.3, max_edges=3, gamma=1.0, max_features=3
+        )
+        assert len(selector.select(tiny_database)) <= 3
+
+    def test_size_increasing_support(self, tiny_database):
+        base = GIndexFeatureSelector(min_support=0.3, max_edges=3, gamma=1.0)
+        increasing = GIndexFeatureSelector(
+            min_support=0.3, max_edges=3, gamma=1.0, size_increasing=True
+        )
+        assert len(increasing.select(tiny_database)) <= len(base.select(tiny_database))

@@ -1,0 +1,155 @@
+"""Tests for the minimum superimposed distance (Definition 1) and Eq. (2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    INFINITE_DISTANCE,
+    MutationDistance,
+    LinearMutationDistance,
+    best_superposition,
+    find_embeddings,
+    graph_pair_distance,
+    minimum_superimposed_distance,
+    within_distance,
+)
+from repro.datasets import sample_connected_subgraph
+
+from conftest import build_graph, cycle_graph, path_graph, random_molecule
+
+
+class TestBasics:
+    def test_zero_distance_for_contained_exact_match(self, full_measure):
+        target = cycle_graph(5, edge_labels=["a", "b", "c", "d", "e"])
+        query = target.edge_subgraph([(0, 1), (1, 2)])
+        assert minimum_superimposed_distance(query, target, full_measure) == 0.0
+
+    def test_infinite_when_structure_absent(self, full_measure):
+        assert (
+            minimum_superimposed_distance(cycle_graph(4), path_graph(5), full_measure)
+            == INFINITE_DISTANCE
+        )
+
+    def test_minimum_over_superpositions(self, edge_measure):
+        # Query edge "double"; target triangle has one double edge, so the
+        # best of the six superpositions has cost 0.
+        query = path_graph(1, edge_labels=["double"])
+        target = cycle_graph(3, edge_labels=["single", "double", "single"])
+        assert minimum_superimposed_distance(query, target, edge_measure) == 0.0
+
+    def test_empty_query(self, edge_measure):
+        query = build_graph(0, [])
+        assert minimum_superimposed_distance(query, cycle_graph(3), edge_measure) == 0.0
+
+    def test_threshold_is_exact_below_threshold(self, edge_measure):
+        query = cycle_graph(3, edge_labels=["single"] * 3)
+        target = cycle_graph(3, edge_labels=["single", "double", "double"])
+        assert minimum_superimposed_distance(query, target, edge_measure) == 2.0
+        assert (
+            minimum_superimposed_distance(query, target, edge_measure, threshold=2)
+            == 2.0
+        )
+        # below the true distance the bounded search reports "infinite"
+        assert (
+            minimum_superimposed_distance(query, target, edge_measure, threshold=1)
+            == INFINITE_DISTANCE
+        )
+
+    def test_within_distance(self, edge_measure):
+        query = cycle_graph(3, edge_labels=["single"] * 3)
+        target = cycle_graph(3, edge_labels=["single", "double", "double"])
+        assert within_distance(query, target, edge_measure, 2)
+        assert not within_distance(query, target, edge_measure, 1)
+
+    def test_best_superposition_returns_witness(self, edge_measure):
+        query = path_graph(2, edge_labels=["double", "double"])
+        target = cycle_graph(4, edge_labels=["double", "double", "single", "single"])
+        result = best_superposition(query, target, edge_measure)
+        assert result.exists
+        assert result.embedding is not None
+        assert edge_measure.embedding_cost(query, target, result.embedding) == result.distance
+
+    def test_graph_pair_distance_same_structure(self, edge_measure):
+        a = cycle_graph(4, edge_labels=["s", "s", "d", "d"])
+        b = cycle_graph(4, edge_labels=["d", "d", "s", "s"])
+        assert graph_pair_distance(a, b, edge_measure) == 0.0
+        c = cycle_graph(4, edge_labels=["d", "s", "d", "s"])
+        assert graph_pair_distance(a, c, edge_measure) == 2.0
+
+    def test_graph_pair_distance_size_mismatch(self, edge_measure):
+        assert graph_pair_distance(path_graph(2), path_graph(3), edge_measure) == INFINITE_DISTANCE
+
+
+class TestAgainstBruteForce:
+    """Branch-and-bound search must equal a brute-force minimum over embeddings."""
+
+    @pytest.mark.parametrize("trial", range(12))
+    def test_matches_brute_force(self, trial, full_measure):
+        rng = random.Random(trial)
+        target = random_molecule(rng, num_vertices=rng.randint(6, 9), extra_edges=2)
+        query = sample_connected_subgraph(target, rng.randint(2, 4), rng)
+        # perturb a couple of labels so the distance is usually non-zero
+        for (u, v) in list(query.edges())[:2]:
+            query.set_edge_label(u, v, "mutated")
+
+        expected = min(
+            (
+                full_measure.embedding_cost(query, target, embedding)
+                for embedding in find_embeddings(query, target)
+            ),
+            default=INFINITE_DISTANCE,
+        )
+        assert minimum_superimposed_distance(query, target, full_measure) == expected
+
+
+class TestPartitionLowerBound:
+    """Property: Eq. (2) — sum of fragment distances lower-bounds d(Q, G)."""
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_lower_bound_holds_for_mutation_distance(self, seed):
+        rng = random.Random(seed)
+        measure = MutationDistance(include_vertices=False, include_edges=True)
+        target = random_molecule(rng, num_vertices=rng.randint(7, 11), extra_edges=2)
+        query = sample_connected_subgraph(target, rng.randint(4, 6), rng)
+        # mutate a few labels so distances are interesting
+        for (u, v) in list(query.edges())[: rng.randint(0, 2)]:
+            query.set_edge_label(u, v, "mutated")
+
+        total_distance = minimum_superimposed_distance(query, target, measure)
+        if total_distance == INFINITE_DISTANCE:
+            return
+
+        # Build a vertex-disjoint partition of the query out of its edges:
+        # greedily take edges whose endpoints are still uncovered.
+        covered = set()
+        fragment_sum = 0.0
+        for (u, v) in query.edges():
+            if u in covered or v in covered:
+                continue
+            covered.update((u, v))
+            fragment = query.edge_subgraph([(u, v)])
+            fragment_distance = minimum_superimposed_distance(fragment, target, measure)
+            assert fragment_distance != INFINITE_DISTANCE
+            fragment_sum += fragment_distance
+        assert fragment_sum <= total_distance + 1e-9
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=20, deadline=None)
+    def test_single_fragment_bound_for_linear_distance(self, seed):
+        rng = random.Random(seed)
+        measure = LinearMutationDistance(include_vertices=False, include_edges=True)
+        target = random_molecule(rng, num_vertices=8, extra_edges=2)
+        for (u, v) in target.edges():
+            target.set_edge_weight(u, v, rng.uniform(0.5, 3.0))
+        query = sample_connected_subgraph(target, 4, rng)
+        for (u, v) in query.edges():
+            query.set_edge_weight(u, v, query.edge_weight(u, v) + rng.uniform(-0.3, 0.3))
+
+        total = minimum_superimposed_distance(query, target, measure)
+        fragment = query.edge_subgraph([next(iter(query.edges()))])
+        partial = minimum_superimposed_distance(fragment, target, measure)
+        assert partial <= total + 1e-9
