@@ -2,8 +2,9 @@
 """Chemical substructure search with mutation-distance constraints.
 
 Reproduces the paper's motivating scenario (Example 1) and then scales it
-up: a synthetic screening library is indexed and queried with substructures
-sampled from it, comparing PIS against topoPrune and the naive scan.
+up: a synthetic screening library is wired into an :class:`repro.Engine`,
+queried in a worker-pooled batch, compared against topoPrune and the naive
+scan, and finally saved and reloaded to show whole-engine persistence.
 
 Run with::
 
@@ -11,15 +12,14 @@ Run with::
 """
 
 import argparse
+import tempfile
 import time
+from pathlib import Path
 
 from repro import (
-    ExhaustiveFeatureSelector,
-    FragmentIndex,
-    NaiveSearch,
-    PISearch,
+    Engine,
+    EngineConfig,
     QueryWorkload,
-    TopoPruneSearch,
     default_edge_mutation_distance,
     example_database,
     figure2_query,
@@ -37,44 +37,56 @@ def run_example1():
     for graph_id, graph in database.items():
         distance = minimum_superimposed_distance(query, graph, measure)
         print(f"  mutation distance to {graph.name}: {distance:g}")
-    features = ExhaustiveFeatureSelector(max_edges=3, min_support=0.5).select(database)
-    index = FragmentIndex(features, measure).build(database)
-    result = PISearch(index, database).search(query, sigma=1.9)
+    engine = Engine.build(
+        database,
+        EngineConfig(
+            selector="exhaustive",
+            selector_params={"max_edges": 3, "min_support": 0.5},
+        ),
+    )
+    result = engine.search(query, sigma=1.9)
     names = [database[graph_id].name for graph_id in result.answer_ids]
     print(f"  graphs within distance < 2: {names}")
     print()
 
 
-def run_screening(num_graphs, sigma, query_edges, num_queries):
+def run_screening(num_graphs, sigma, query_edges, num_queries, workers):
     """Index a synthetic screening library and compare the strategies."""
     print(f"=== Synthetic screening library ({num_graphs} molecules) ===")
     database = generate_chemical_database(num_graphs, seed=23)
-    measure = default_edge_mutation_distance()
     stats = database.stats().as_dict()
     print(f"  avg size: {stats['avg_vertices']} atoms / {stats['avg_edges']} bonds; "
           f"{stats['dominant_vertex_label_share']:.0%} carbon, "
           f"{stats['dominant_edge_label_share']:.0%} single bonds")
 
     started = time.perf_counter()
-    features = ExhaustiveFeatureSelector(
-        max_edges=4, min_support=0.1, sample_size=30, max_features=150
-    ).select(database)
-    index = FragmentIndex(features, measure).build(database)
-    print(f"  index: {index.num_classes} structure classes, "
-          f"{index.stats().num_entries} entries, built in {time.perf_counter() - started:.1f}s")
+    engine = Engine.build(
+        database,
+        EngineConfig(
+            selector="exhaustive",
+            selector_params={
+                "max_edges": 4, "min_support": 0.1,
+                "sample_size": 30, "max_features": 150,
+            },
+        ),
+    )
+    print(f"  index: {engine.index.num_classes} structure classes, "
+          f"{engine.index.stats().num_entries} entries, "
+          f"built in {time.perf_counter() - started:.1f}s")
 
     workload = QueryWorkload(database, seed=5)
     queries = workload.sample_queries(query_edges, num_queries)
 
-    pis = PISearch(index, database)
-    topo = TopoPruneSearch(index, database)
-    naive = NaiveSearch(database, measure)
+    topo = engine.make_strategy("topoPrune")
+    naive = engine.make_strategy("naive")
 
-    print(f"  {num_queries} queries with {query_edges} edges, sigma = {sigma}")
+    batch = engine.search_many(queries, sigma, workers=workers)
+    print(f"  {num_queries} queries with {query_edges} edges, sigma = {sigma} "
+          f"({batch.executor}, workers={batch.workers}, "
+          f"wall {batch.wall_seconds:.2f}s)")
     print(f"  {'query':<7}{'answers':>8}{'naive cand.':>12}{'topo cand.':>12}"
           f"{'PIS cand.':>10}{'PIS time':>10}")
-    for position, query in enumerate(queries):
-        pis_result = pis.search(query, sigma)
+    for position, (query, pis_result) in enumerate(zip(queries, batch)):
         topo_candidates = topo.candidates(query, sigma)
         naive_result = naive.search(query, sigma)
         assert set(naive_result.answer_ids) == set(pis_result.answer_ids)
@@ -83,6 +95,16 @@ def run_screening(num_graphs, sigma, query_edges, num_queries):
               f"{pis_result.total_seconds:>9.2f}s")
     print("  (PIS answers verified identical to the naive scan for every query)")
 
+    # --- whole-engine persistence: save, reload, re-answer -------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "engine.json"
+        engine.save(path)
+        reloaded = Engine.load(path, database)
+        check = reloaded.search(queries[0], sigma)
+        assert check.answer_ids == batch[0].answer_ids
+        print(f"  engine round-tripped through {path.name}: "
+              "reloaded engine answers identically")
+
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
@@ -90,10 +112,12 @@ def main():
     parser.add_argument("--sigma", type=float, default=2.0, help="distance threshold")
     parser.add_argument("--query-edges", type=int, default=12, help="query size in edges")
     parser.add_argument("--queries", type=int, default=5, help="number of queries")
+    parser.add_argument("--workers", type=int, default=4, help="batch thread-pool size")
     arguments = parser.parse_args()
 
     run_example1()
-    run_screening(arguments.graphs, arguments.sigma, arguments.query_edges, arguments.queries)
+    run_screening(arguments.graphs, arguments.sigma, arguments.query_edges,
+                  arguments.queries, arguments.workers)
 
 
 if __name__ == "__main__":

@@ -14,11 +14,9 @@ Run with::
 """
 
 from repro import (
-    ExhaustiveFeatureSelector,
-    FragmentIndex,
-    PISearch,
+    Engine,
+    EngineConfig,
     QueryWorkload,
-    default_edge_mutation_distance,
     enhanced_greedy_mwis,
     exact_mwis,
     generate_chemical_database,
@@ -29,15 +27,22 @@ from repro.search import OverlapGraph
 
 def main():
     database = generate_chemical_database(80, seed=17)
-    measure = default_edge_mutation_distance()
-    features = ExhaustiveFeatureSelector(
-        max_edges=4, min_support=0.1, sample_size=30, max_features=120
-    ).select(database)
-    index = FragmentIndex(features, measure).build(database)
+    engine = Engine.build(
+        database,
+        EngineConfig(
+            selector="exhaustive",
+            selector_params={
+                "max_edges": 4, "min_support": 0.1,
+                "sample_size": 30, "max_features": 120,
+            },
+        ),
+    )
     query = QueryWorkload(database, seed=2).sample_queries(num_edges=14, count=1)[0]
     sigma = 2
 
-    pis = PISearch(index, database)
+    # The engine's configured strategy is the PISearch instance; its
+    # filtering phase is open for inspection.
+    pis = engine.strategy
     outcome = pis.filter_candidates(query, sigma)
 
     print(f"query: {query.num_vertices} vertices / {query.num_edges} edges, sigma={sigma}")
@@ -76,7 +81,7 @@ def main():
     print(f"structure-only candidates : {outcome.report.num_structure_candidates}")
     print(f"after distance lower bound: {outcome.report.num_candidates}")
 
-    result = pis.search(query, sigma)
+    result = engine.search(query, sigma)
     print(f"true answers              : {result.num_answers}")
 
 

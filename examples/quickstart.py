@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Quickstart: index a small graph database and answer one SSSD query.
 
-Builds a tiny labeled-graph database by hand, indexes its fragments, and
-asks for every graph containing the query structure with at most one
-mismatched edge label — the core "substructure search with superimposed
-distance" (SSSD) operation of the paper.
+Builds a tiny labeled-graph database by hand, wires it into an
+:class:`repro.Engine` with a declarative config, and asks for every graph
+containing the query structure with at most one mismatched edge label — the
+core "substructure search with superimposed distance" (SSSD) operation of
+the paper.
 
 Run with::
 
@@ -12,13 +13,11 @@ Run with::
 """
 
 from repro import (
-    FragmentIndex,
+    Engine,
+    EngineConfig,
     GraphDatabase,
     LabeledGraph,
     MutationDistance,
-    NaiveSearch,
-    PathFeatureSelector,
-    PISearch,
     minimum_superimposed_distance,
 )
 
@@ -59,20 +58,26 @@ def main():
         name="quickstart",
     )
 
-    # --- 2. the query and the distance measure ------------------------------
+    # --- 2. the query and the engine configuration --------------------------
     # Find graphs containing an aromatic six-ring with a one-bond tail, with
     # at most one mutated edge label (mutation distance over edge labels).
     query = with_tail(benzene(aromatic), 0, ["single"])
     measure = MutationDistance(include_vertices=False, include_edges=True)
     sigma = 1
 
-    # --- 3. fragment-based index + partition-based search (PIS) -------------
-    features = PathFeatureSelector(max_path_edges=3, include_cycles=True).select(database)
-    index = FragmentIndex(features, measure).build(database)
-    pis = PISearch(index, database)
-    result = pis.search(query, sigma)
+    config = EngineConfig(
+        selector="paths",
+        selector_params={"max_path_edges": 3, "include_cycles": True},
+        measure=measure.describe(),
+        strategy="pis",
+    )
 
-    print(f"database: {len(database)} graphs, index: {index.num_classes} structure classes")
+    # --- 3. build the engine and search -------------------------------------
+    engine = Engine.build(database, config)
+    result = engine.search(query, sigma)
+
+    print(f"database: {len(database)} graphs, "
+          f"index: {engine.index.num_classes} structure classes")
     print(f"query: {query.num_vertices} vertices / {query.num_edges} edges, sigma = {sigma}")
     print(f"candidates after pruning: {result.num_candidates} "
           f"(of {len(database)}), answers: {result.num_answers}")
@@ -81,7 +86,7 @@ def main():
               f"at distance {result.answer_distances[graph_id]:g}")
 
     # --- 4. cross-check against the naive scan ------------------------------
-    naive = NaiveSearch(database, measure).search(query, sigma)
+    naive = engine.make_strategy("naive").search(query, sigma)
     assert set(naive.answer_ids) == set(result.answer_ids), "PIS must agree with the naive scan"
     print("verified: PIS answers match the naive scan")
 

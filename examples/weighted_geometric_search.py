@@ -4,9 +4,10 @@
 Example 3 of the paper: when graph elements carry numeric weights (bond
 lengths, distances, charges), the superimposed distance becomes the linear
 mutation distance LD = sum |w - w'| and the per-class index of choice is an
-R-tree over the fragments' weight vectors.  This example builds a weighted
-database, indexes it with the R-tree backend, and answers range queries,
-cross-checking the R-tree against the exhaustive linear-scan backend.
+R-tree over the fragments' weight vectors.  This example builds two engines
+over the same weighted database — one R-tree backed, one with the
+exhaustive linear-scan backend — from configs that differ in a single
+string, and cross-checks them query by query.
 
 Run with::
 
@@ -16,11 +17,9 @@ Run with::
 import time
 
 from repro import (
-    FragmentIndex,
+    Engine,
+    EngineConfig,
     LinearMutationDistance,
-    NaiveSearch,
-    PathFeatureSelector,
-    PISearch,
     QueryWorkload,
     generate_weighted_database,
 )
@@ -33,12 +32,17 @@ def main():
     print(f"database: {len(database)} weighted graphs "
           f"(edge weights ~ bond lengths around 1.3-1.6)")
 
-    # --- 2. R-tree backed fragment index -------------------------------------
-    features = PathFeatureSelector(max_path_edges=3, include_cycles=True).select(database)
-    rtree_index = FragmentIndex(features, measure, backend="rtree").build(database)
-    linear_index = FragmentIndex(features, measure, backend="linear").build(database)
-    print(f"index: {rtree_index.num_classes} structure classes, "
-          f"{rtree_index.stats().num_entries} fragment vectors in R-trees")
+    # --- 2. two engines differing only in the per-class backend --------------
+    config = EngineConfig(
+        selector="paths",
+        selector_params={"max_path_edges": 3, "include_cycles": True},
+        measure=measure.describe(),
+        backend="rtree",
+    )
+    rtree_engine = Engine.build(database, config)
+    linear_engine = Engine.build(database, config.replace(backend="linear"))
+    print(f"index: {rtree_engine.index.num_classes} structure classes, "
+          f"{rtree_engine.index.stats().num_entries} fragment vectors in R-trees")
 
     # --- 3. range queries ------------------------------------------------------
     # "Find graphs containing the query structure whose total edge-weight
@@ -46,15 +50,13 @@ def main():
     sigma = 0.4
     queries = QueryWorkload(database, seed=8).sample_queries(num_edges=7, count=4)
 
-    pis_rtree = PISearch(rtree_index, database)
-    pis_linear = PISearch(linear_index, database)
-    naive = NaiveSearch(database, measure)
+    naive = rtree_engine.make_strategy("naive")
 
     for position, query in enumerate(queries):
         started = time.perf_counter()
-        rtree_result = pis_rtree.search(query, sigma)
+        rtree_result = rtree_engine.search(query, sigma)
         rtree_seconds = time.perf_counter() - started
-        linear_candidates = pis_linear.candidates(query, sigma)
+        linear_candidates = linear_engine.strategy.candidates(query, sigma)
         naive_result = naive.search(query, sigma)
 
         assert rtree_result.candidate_ids == linear_candidates, (

@@ -8,18 +8,38 @@ index and a partition-based search with a greedy MWIS partition.
 
 Quickstart
 ----------
->>> from repro import (
-...     generate_chemical_database, default_edge_mutation_distance,
-...     ExhaustiveFeatureSelector, FragmentIndex, PISearch, QueryWorkload,
-... )
+The :class:`Engine` facade is the primary API: configure it declaratively,
+build it over a database, and search.
+
+>>> from repro import Engine, EngineConfig, QueryWorkload, generate_chemical_database
 >>> db = generate_chemical_database(50, seed=1)
->>> measure = default_edge_mutation_distance()
->>> features = ExhaustiveFeatureSelector(max_edges=3, min_support=0.2).select(db)
->>> index = FragmentIndex(features, measure).build(db)
+>>> config = EngineConfig(
+...     selector="exhaustive", selector_params={"max_edges": 3, "min_support": 0.2}
+... )
+>>> engine = Engine.build(db, config)
 >>> query = QueryWorkload(db, seed=3).sample_queries(num_edges=8, count=1)[0]
->>> result = PISearch(index, db).search(query, sigma=1)
+>>> result = engine.search(query, sigma=1)
 >>> result.num_answers <= result.num_candidates <= len(db)
 True
+
+Batches run in a worker pool, and a saved engine reloads with identical
+behaviour:
+
+>>> queries = QueryWorkload(db, seed=4).sample_queries(num_edges=8, count=4)
+>>> batch = engine.search_many(queries, sigma=1, workers=4)
+>>> batch.num_queries
+4
+>>> import tempfile, os
+>>> with tempfile.TemporaryDirectory() as tmp:
+...     path = os.path.join(tmp, "engine.json")
+...     engine.save(path)
+...     reloaded = Engine.load(path, db)
+...     reloaded.search(query, sigma=1).answer_ids == result.answer_ids
+True
+
+The individual components (selectors, :class:`FragmentIndex`, strategies)
+remain public for manual wiring; ``PISearch(index, db).search(query, 1)``
+still works exactly as before.
 """
 
 from .core import (
@@ -61,6 +81,11 @@ from .datasets import (
     generate_chemical_database,
     generate_weighted_database,
 )
+from .engine import (
+    BatchSearchResult,
+    Engine,
+    EngineConfig,
+)
 from .index import (
     EquivalenceClassIndex,
     FragmentIndex,
@@ -77,6 +102,9 @@ from .mining import (
     GIndexFeatureSelector,
     GSpanFeatureSelector,
     PathFeatureSelector,
+    available_selectors,
+    make_selector,
+    register_selector,
 )
 from .search import (
     ExactTopoPruneSearch,
@@ -84,9 +112,12 @@ from .search import (
     PISearch,
     SearchResult,
     TopoPruneSearch,
+    available_strategies,
     enhanced_greedy_mwis,
     exact_mwis,
     greedy_mwis,
+    make_strategy,
+    register_strategy,
     select_partition,
 )
 
@@ -94,6 +125,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # engine (primary API)
+    "Engine",
+    "EngineConfig",
+    "BatchSearchResult",
+    # registries
+    "register_selector",
+    "make_selector",
+    "available_selectors",
+    "register_strategy",
+    "make_strategy",
+    "available_strategies",
     # core
     "LabeledGraph",
     "GraphDatabase",

@@ -5,10 +5,13 @@ Subcommands
 ``generate``
     Generate a synthetic chemical-like database and write it to JSON.
 ``index``
-    Build a fragment index over a database file and save it to JSON.
+    Build an engine (feature selection + fragment index) over a database
+    file, from CLI flags or a declarative ``--config`` JSON file, and save
+    the index and/or the whole engine to JSON.
 ``query``
-    Answer SSSD queries against a database + index, comparing PIS with the
-    baselines.
+    Answer SSSD queries against a database + index (or saved engine),
+    comparing PIS with the baselines; ``--workers`` batches the queries
+    over a thread pool.
 ``stats``
     Print database / index statistics.
 ``experiments``
@@ -18,8 +21,14 @@ Subcommands
 Example session::
 
     pis generate --count 200 --output db.json
-    pis index --database db.json --max-edges 5 --output index.json
-    pis query --database db.json --index index.json --edges 12 --sigma 2
+    pis index --database db.json --max-edges 5 --engine-output engine.json
+    pis query --database db.json --engine engine.json --sigma 2 --workers 4
+
+or, with a declarative engine config::
+
+    echo '{"selector": "exhaustive", "selector_params": {"max_edges": 5},
+           "backend": "trie", "strategy": "pis"}' > config.json
+    pis index --database db.json --config config.json --engine-output engine.json
 """
 
 from __future__ import annotations
@@ -31,14 +40,11 @@ from pathlib import Path
 from typing import List, Optional
 
 from .core.database import GraphDatabase
-from .core.distance import default_edge_mutation_distance
+from .core.errors import EngineConfigError, PISError
 from .datasets.generator import generate_chemical_database
 from .datasets.queries import QueryWorkload
-from .index.fragment_index import FragmentIndex
+from .engine import Engine, EngineConfig
 from .index.persistence import load_index, save_index
-from .mining.exhaustive import ExhaustiveFeatureSelector
-from .search.baselines import NaiveSearch, TopoPruneSearch
-from .search.pis import PISearch
 
 __all__ = ["main", "build_parser"]
 
@@ -56,21 +62,59 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=7, help="generator seed")
     generate.add_argument("--output", type=Path, required=True, help="output JSON path")
 
-    index = subparsers.add_parser("index", help="build a fragment index")
+    index = subparsers.add_parser("index", help="build an engine / fragment index")
     index.add_argument("--database", type=Path, required=True, help="database JSON path")
-    index.add_argument("--max-edges", type=int, default=4, help="max fragment size")
-    index.add_argument("--min-support", type=float, default=0.08, help="feature support")
-    index.add_argument("--max-features", type=int, default=250, help="feature cap")
-    index.add_argument("--backend", default="trie", help="per-class backend")
-    index.add_argument("--output", type=Path, required=True, help="output JSON path")
+    index.add_argument(
+        "--config",
+        type=Path,
+        help="engine config JSON; cannot be combined with the individual "
+        "selector/backend flags below",
+    )
+    index.add_argument(
+        "--max-edges", type=int, help="max fragment size (default 4)"
+    )
+    index.add_argument(
+        "--min-support", type=float, help="feature support (default 0.08)"
+    )
+    index.add_argument(
+        "--max-features", type=int, help="feature cap (default 250)"
+    )
+    index.add_argument("--backend", help="per-class backend (default trie)")
+    index.add_argument("--output", type=Path, help="index-only output JSON path")
+    index.add_argument(
+        "--engine-output",
+        type=Path,
+        help="whole-engine output JSON path (config + index)",
+    )
 
     query = subparsers.add_parser("query", help="run SSSD queries")
     query.add_argument("--database", type=Path, required=True, help="database JSON path")
-    query.add_argument("--index", type=Path, required=True, help="index JSON path")
+    query.add_argument("--index", type=Path, help="index JSON path")
+    query.add_argument(
+        "--engine", type=Path, help="saved engine JSON path (alternative to --index)"
+    )
+    query.add_argument(
+        "--config",
+        type=Path,
+        help="engine config JSON (strategy + params) used with --index",
+    )
     query.add_argument("--edges", type=int, default=12, help="query size (edges)")
     query.add_argument("--count", type=int, default=3, help="number of queries")
     query.add_argument("--sigma", type=float, default=2.0, help="distance threshold")
     query.add_argument("--seed", type=int, default=42, help="query sampling seed")
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker-pool size for batched query execution (0 = sequential)",
+    )
+    query.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool kind; 'process' sidesteps the GIL for CPU-bound "
+        "verification at the cost of pickling the engine into each worker",
+    )
     query.add_argument(
         "--compare-naive",
         action="store_true",
@@ -80,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats = subparsers.add_parser("stats", help="print database / index statistics")
     stats.add_argument("--database", type=Path, help="database JSON path")
     stats.add_argument("--index", type=Path, help="index JSON path")
+    stats.add_argument("--engine", type=Path, help="engine JSON path")
 
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the EXPERIMENTS.md report"
@@ -91,6 +136,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_config(path: Optional[Path]) -> Optional[EngineConfig]:
+    """Load an :class:`EngineConfig` from a JSON file (None passes through)."""
+    if path is None:
+        return None
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise EngineConfigError(
+            f"cannot load engine config from {path}: {exc}"
+        ) from exc
+    return EngineConfig.from_dict(data)
+
+
 def _command_generate(arguments: argparse.Namespace) -> int:
     database = generate_chemical_database(arguments.count, seed=arguments.seed)
     database.save(arguments.output)
@@ -100,52 +158,116 @@ def _command_generate(arguments: argparse.Namespace) -> int:
 
 
 def _command_index(arguments: argparse.Namespace) -> int:
+    if arguments.output is None and arguments.engine_output is None:
+        print("nothing to write: pass --output and/or --engine-output", file=sys.stderr)
+        return 2
+    explicit_flags = [
+        flag
+        for flag, value in (
+            ("--max-edges", arguments.max_edges),
+            ("--min-support", arguments.min_support),
+            ("--max-features", arguments.max_features),
+            ("--backend", arguments.backend),
+        )
+        if value is not None
+    ]
+    if arguments.config is not None and explicit_flags:
+        # A config file and individual flags would silently shadow each
+        # other; make the user pick one source of truth.
+        print(
+            f"cannot combine --config with {', '.join(explicit_flags)}",
+            file=sys.stderr,
+        )
+        return 2
     database = GraphDatabase.load(arguments.database)
-    measure = default_edge_mutation_distance()
-    selector = ExhaustiveFeatureSelector(
-        max_edges=arguments.max_edges,
-        min_support=arguments.min_support,
-        max_features=arguments.max_features,
-        sample_size=min(50, len(database)),
+    config = _load_config(arguments.config)
+    if config is None:
+        config = EngineConfig(
+            selector="exhaustive",
+            selector_params={
+                "max_edges": arguments.max_edges if arguments.max_edges is not None else 4,
+                "min_support": (
+                    arguments.min_support if arguments.min_support is not None else 0.08
+                ),
+                "max_features": (
+                    arguments.max_features if arguments.max_features is not None else 250
+                ),
+                "sample_size": min(50, len(database)),
+            },
+            backend=arguments.backend if arguments.backend is not None else "trie",
+        )
+    engine = Engine.build(database, config)
+    if arguments.output is not None:
+        save_index(engine.index, arguments.output)
+    if arguments.engine_output is not None:
+        engine.save(arguments.engine_output)
+    print(
+        f"indexed {len(database)} graphs with {engine.index.num_classes} "
+        "structure classes"
     )
-    features = selector.select(database)
-    index = FragmentIndex(features, measure, backend=arguments.backend).build(database)
-    save_index(index, arguments.output)
-    print(f"indexed {len(database)} graphs with {index.num_classes} structure classes")
-    print(json.dumps(index.stats().as_dict(), indent=2))
+    print(json.dumps(engine.index.stats().as_dict(), indent=2))
     return 0
 
 
 def _command_query(arguments: argparse.Namespace) -> int:
+    if (arguments.index is None) == (arguments.engine is None):
+        print("pass exactly one of --index or --engine", file=sys.stderr)
+        return 2
+    if arguments.engine is not None and arguments.config is not None:
+        # A saved engine carries its own config; a second one would be
+        # silently ignored, so reject the combination loudly.
+        print("cannot combine --engine with --config", file=sys.stderr)
+        return 2
     database = GraphDatabase.load(arguments.database)
-    index = load_index(arguments.index)
+    if arguments.engine is not None:
+        engine = Engine.load(arguments.engine, database)
+    else:
+        index = load_index(arguments.index)
+        engine = Engine.from_index(
+            database, index, config=_load_config(arguments.config)
+        )
     workload = QueryWorkload(database, seed=arguments.seed)
     queries = workload.sample_queries(arguments.edges, arguments.count)
 
-    pis = PISearch(index, database)
-    topo = TopoPruneSearch(index, database)
-    naive = NaiveSearch(database, index.measure) if arguments.compare_naive else None
+    batch = engine.search_many(
+        queries,
+        arguments.sigma,
+        workers=arguments.workers,
+        executor=arguments.executor,
+    )
+    topo = engine.make_strategy("topoPrune")
+    naive = engine.make_strategy("naive") if arguments.compare_naive else None
 
-    for position, query in enumerate(queries):
-        pis_result = pis.search(query, arguments.sigma)
+    for position, (query, result) in enumerate(zip(queries, batch)):
         yt = len(topo.candidates(query, arguments.sigma))
         line = (
-            f"query {position}: answers={pis_result.num_answers} "
-            f"PIS candidates={pis_result.num_candidates} topoPrune candidates={yt} "
-            f"prune={pis_result.prune_seconds:.3f}s verify={pis_result.verify_seconds:.3f}s"
+            f"query {position}: answers={result.num_answers} "
+            f"PIS candidates={result.num_candidates} topoPrune candidates={yt} "
+            f"prune={result.prune_seconds:.3f}s verify={result.verify_seconds:.3f}s"
         )
         if naive is not None:
             naive_result = naive.search(query, arguments.sigma)
-            agreement = set(naive_result.answer_ids) == set(pis_result.answer_ids)
+            agreement = set(naive_result.answer_ids) == set(result.answer_ids)
             line += f" naive-agrees={agreement}"
         print(line)
+    print(
+        f"batch: {batch.num_queries} queries in {batch.wall_seconds:.3f}s "
+        f"({batch.executor}, workers={batch.workers})"
+    )
     return 0
 
 
 def _command_stats(arguments: argparse.Namespace) -> int:
-    if arguments.database is None and arguments.index is None:
-        print("nothing to report: pass --database and/or --index", file=sys.stderr)
+    if arguments.database is None and arguments.index is None and arguments.engine is None:
+        print(
+            "nothing to report: pass --database, --index and/or --engine",
+            file=sys.stderr,
+        )
         return 2
+    if arguments.engine is not None and arguments.database is None:
+        print("--engine requires --database", file=sys.stderr)
+        return 2
+    database = None
     if arguments.database is not None:
         database = GraphDatabase.load(arguments.database)
         print("database:")
@@ -154,6 +276,10 @@ def _command_stats(arguments: argparse.Namespace) -> int:
         index = load_index(arguments.index)
         print("index:")
         print(json.dumps(index.stats().as_dict(), indent=2))
+    if arguments.engine is not None:
+        engine = Engine.load(arguments.engine, database)
+        print("engine:")
+        print(json.dumps(engine.stats(), indent=2))
     return 0
 
 
@@ -178,7 +304,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": _command_stats,
         "experiments": _command_experiments,
     }
-    return handlers[arguments.command](arguments)
+    try:
+        return handlers[arguments.command](arguments)
+    except PISError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -6,6 +6,8 @@ from .errors import (
     DuplicateEdgeError,
     DuplicateVertexError,
     EdgeNotFoundError,
+    EngineConfigError,
+    EngineError,
     FeatureNotIndexedError,
     GraphError,
     IncompatibleGraphsError,
@@ -14,6 +16,7 @@ from .errors import (
     PartitionError,
     PISError,
     SerializationError,
+    UnknownComponentError,
     VertexNotFoundError,
 )
 from .graph import DEFAULT_LABEL, GraphStats, LabeledGraph, edge_key
@@ -75,6 +78,9 @@ __all__ = [
     "PartitionError",
     "DatasetError",
     "SerializationError",
+    "EngineError",
+    "EngineConfigError",
+    "UnknownComponentError",
     # graph
     "LabeledGraph",
     "GraphStats",

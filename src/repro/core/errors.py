@@ -22,6 +22,9 @@ __all__ = [
     "PartitionError",
     "DatasetError",
     "SerializationError",
+    "EngineError",
+    "EngineConfigError",
+    "UnknownComponentError",
 ]
 
 
@@ -102,3 +105,32 @@ class DatasetError(PISError):
 
 class SerializationError(PISError):
     """Errors raised while (de)serializing graphs or indexes."""
+
+
+class EngineError(PISError):
+    """Base class for errors raised by the :class:`repro.engine.Engine` facade."""
+
+
+class EngineConfigError(EngineError, ValueError):
+    """An engine configuration is malformed or inconsistent."""
+
+
+class UnknownComponentError(EngineError, KeyError):
+    """A registry lookup used a name no component was registered under."""
+
+    def __init__(self, kind, name, available):
+        super().__init__(
+            f"unknown {kind} {name!r}; available: {sorted(available)}"
+        )
+        self.kind = kind
+        self.name = name
+        self.available = sorted(available)
+
+    def __str__(self):
+        # KeyError.__str__ reprs the message (adding quotes); report it plain.
+        return self.args[0]
+
+    def __reduce__(self):
+        # BaseException pickling re-invokes cls(*args); args holds the
+        # formatted message, not the constructor signature.
+        return (self.__class__, (self.kind, self.name, self.available))

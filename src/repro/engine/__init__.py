@@ -1,0 +1,17 @@
+"""Unified engine facade: declarative config, build, batch search, persistence.
+
+This package is the primary public API of the library::
+
+    from repro import Engine, EngineConfig
+
+    engine = Engine.build(database, EngineConfig(selector="exhaustive"))
+    result = engine.search(query, sigma=2)
+    batch = engine.search_many(queries, sigma=2, workers=4)
+    engine.save("engine.json")
+    engine = Engine.load("engine.json", database)
+"""
+
+from .config import EngineConfig
+from .facade import BatchSearchResult, Engine
+
+__all__ = ["Engine", "EngineConfig", "BatchSearchResult"]

@@ -1,0 +1,141 @@
+"""Declarative engine configuration.
+
+An :class:`EngineConfig` captures every choice that goes into building and
+querying a PIS engine — which feature selector picks the indexed
+structures, which per-class backend answers range queries, which distance
+measure defines the semantics, and which search strategy (with which
+parameters) answers queries — as plain data.  Components are referenced by
+their registry names (:func:`repro.mining.make_selector`,
+:func:`repro.index.make_backend`, :func:`repro.search.make_strategy`), so a
+config round-trips through JSON and an engine saved to disk can be rebuilt
+with identical behaviour.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.distance import DistanceMeasure, default_edge_mutation_distance
+from ..core.errors import EngineConfigError
+from ..index.persistence import measure_from_dict, measure_to_dict
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass
+class EngineConfig:
+    """Everything needed to build (and rebuild) an engine, as plain data.
+
+    Attributes
+    ----------
+    selector / selector_params:
+        Registry name of the feature selector plus its constructor
+        parameters (e.g. ``"exhaustive"`` with ``{"max_edges": 4}``).
+    backend / backend_options:
+        Per-class range-query backend name (``"trie"``, ``"rtree"``,
+        ``"vptree"``, ``"linear"`` or ``"auto"``) and its options.
+    measure:
+        Serialized distance measure (:func:`repro.index.measure_to_dict`
+        output) or ``None`` for the paper's default edge-label mutation
+        distance.
+    strategy / strategy_params:
+        Registry name of the search strategy plus its constructor
+        parameters (e.g. ``"pis"`` with ``{"partition_method": "exact"}``).
+    verify:
+        When false, :meth:`repro.engine.Engine.search` stops after the
+        filtering phase and reports an empty answer set — useful for
+        pruning-power studies that must not pay for verification.
+    """
+
+    selector: str = "exhaustive"
+    selector_params: Dict[str, Any] = field(default_factory=dict)
+    backend: str = "auto"
+    backend_options: Dict[str, Any] = field(default_factory=dict)
+    measure: Optional[Dict[str, Any]] = None
+    strategy: str = "pis"
+    strategy_params: Dict[str, Any] = field(default_factory=dict)
+    verify: bool = True
+
+    def __post_init__(self):
+        for attribute in ("selector", "backend", "strategy"):
+            value = getattr(self, attribute)
+            if not isinstance(value, str) or not value:
+                raise EngineConfigError(
+                    f"{attribute} must be a non-empty string, got {value!r}"
+                )
+        for attribute in ("selector_params", "backend_options", "strategy_params"):
+            value = getattr(self, attribute)
+            if not isinstance(value, dict):
+                raise EngineConfigError(
+                    f"{attribute} must be a dict, got {type(value).__name__}"
+                )
+            # Own the nested dicts: dataclasses.replace would otherwise
+            # alias them between the original and the copy.
+            setattr(self, attribute, copy.deepcopy(value))
+        if self.measure is not None:
+            if isinstance(self.measure, DistanceMeasure):
+                # Accept a live measure object and normalise it to its spec.
+                self.measure = measure_to_dict(self.measure)
+            elif isinstance(self.measure, dict):
+                self.measure = copy.deepcopy(self.measure)
+            else:
+                raise EngineConfigError(
+                    "measure must be a serialized measure dict, a "
+                    f"DistanceMeasure, or None, got {type(self.measure).__name__}"
+                )
+
+    # ------------------------------------------------------------------
+    # component resolution
+    # ------------------------------------------------------------------
+    def make_measure(self) -> DistanceMeasure:
+        """Build the configured distance measure (default: edge mutation)."""
+        if self.measure is None:
+            return default_edge_mutation_distance()
+        return measure_from_dict(self.measure)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-friendly dict that :meth:`from_dict` inverts.
+
+        The nested dicts are deep-copied so mutating the returned value
+        never corrupts the live config.
+        """
+        return {
+            "selector": self.selector,
+            "selector_params": copy.deepcopy(self.selector_params),
+            "backend": self.backend,
+            "backend_options": copy.deepcopy(self.backend_options),
+            "measure": copy.deepcopy(self.measure),
+            "strategy": self.strategy,
+            "strategy_params": copy.deepcopy(self.strategy_params),
+            "verify": self.verify,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EngineConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected so that typos in hand-written config
+        files fail loudly instead of being silently ignored.
+        """
+        if not isinstance(data, dict):
+            raise EngineConfigError(
+                f"engine config must be a dict, got {type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise EngineConfigError(
+                f"unknown engine config keys: {sorted(unknown)}; "
+                f"known keys: {sorted(known)}"
+            )
+        return cls(**data)
+
+    def replace(self, **overrides) -> "EngineConfig":
+        """Return a copy of the config with the given fields replaced."""
+        return dataclasses.replace(self, **overrides)

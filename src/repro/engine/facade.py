@@ -1,0 +1,417 @@
+"""The :class:`Engine` facade: one object that is the whole PIS system.
+
+The paper presents PIS as a single coherent system — feature selection,
+fragment index, partition-based search — and this module exposes it that
+way: :meth:`Engine.build` turns a database plus a declarative
+:class:`~repro.engine.config.EngineConfig` into a ready-to-query engine,
+:meth:`Engine.search` / :meth:`Engine.search_many` answer SSSD queries
+(optionally in a thread or process pool), and :meth:`Engine.save` /
+:meth:`Engine.load` round-trip the configuration and the built index
+together, so a reloaded engine answers every query identically.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from ..core.database import GraphDatabase
+from ..core.distance import DistanceMeasure
+from ..core.errors import EngineConfigError, EngineError, SerializationError
+from ..core.graph import LabeledGraph
+from ..index.fragment_index import FragmentIndex
+from ..index.persistence import index_from_dict, index_to_dict, measure_to_dict
+from ..mining.registry import make_selector
+from ..search.registry import make_strategy
+from ..search.results import PruningReport, SearchResult
+from ..search.strategy import SearchStrategy
+from .config import EngineConfig
+
+__all__ = ["Engine", "BatchSearchResult"]
+
+ENGINE_FORMAT = "pis-engine"
+
+
+@dataclass
+class BatchSearchResult:
+    """Results of one batched :meth:`Engine.search_many` call.
+
+    Holds the per-query :class:`~repro.search.results.SearchResult` objects
+    in query order plus the aggregate timing of the batch: ``wall_seconds``
+    is the elapsed wall clock of the whole batch (which, with workers,
+    is less than the summed per-query time), while the ``total_*``
+    properties aggregate the per-query phase timings.
+    """
+
+    sigma: float
+    results: List[SearchResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers: int = 1
+    executor: str = "sequential"
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[SearchResult]:
+        return iter(self.results)
+
+    def __getitem__(self, position: int) -> SearchResult:
+        return self.results[position]
+
+    @property
+    def num_queries(self) -> int:
+        """Number of queries in the batch."""
+        return len(self.results)
+
+    @property
+    def total_prune_seconds(self) -> float:
+        """Summed filtering time across all queries."""
+        return sum(result.prune_seconds for result in self.results)
+
+    @property
+    def total_verify_seconds(self) -> float:
+        """Summed verification time across all queries."""
+        return sum(result.verify_seconds for result in self.results)
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed per-query processing time (>= wall_seconds with workers)."""
+        return sum(result.total_seconds for result in self.results)
+
+    @property
+    def total_answers(self) -> int:
+        """Total number of answers across all queries."""
+        return sum(result.num_answers for result in self.results)
+
+    @property
+    def total_candidates(self) -> int:
+        """Total number of verified candidates across all queries."""
+        return sum(result.num_candidates for result in self.results)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return a JSON-friendly summary of the batch."""
+        return {
+            "sigma": self.sigma,
+            "num_queries": self.num_queries,
+            "workers": self.workers,
+            "executor": self.executor,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "total_prune_seconds": round(self.total_prune_seconds, 6),
+            "total_verify_seconds": round(self.total_verify_seconds, 6),
+            "total_candidates": self.total_candidates,
+            "total_answers": self.total_answers,
+            "results": [result.as_dict() for result in self.results],
+        }
+
+
+def _database_fingerprint(database: GraphDatabase) -> Dict[str, int]:
+    """A cheap database identity check for :meth:`Engine.load`.
+
+    Size totals catch the common mistake — loading an engine against a
+    different database of the same length — without the cost of hashing
+    every graph.
+    """
+    return {
+        "num_graphs": len(database),
+        "total_vertices": sum(graph.num_vertices for graph in database),
+        "total_edges": sum(graph.num_edges for graph in database),
+    }
+
+
+def _search_chunk(
+    engine: "Engine", queries: Sequence[LabeledGraph], sigma: float
+) -> List[SearchResult]:
+    """Process-pool task: answer a slice of the batch on a pickled engine."""
+    return [engine.search(query, sigma) for query in queries]
+
+
+class Engine:
+    """Facade over feature selection, fragment index, and search.
+
+    Build one with :meth:`Engine.build` (from a database and a config),
+    :meth:`Engine.from_index` (around an already-built index), or
+    :meth:`Engine.load` (from a file written by :meth:`save`).
+    """
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        config: EngineConfig,
+        index: FragmentIndex,
+    ):
+        if not isinstance(config, EngineConfig):
+            raise EngineConfigError(
+                f"config must be an EngineConfig, got {type(config).__name__}"
+            )
+        self.database = database
+        self.config = config
+        self.index = index
+        self._strategy: Optional[SearchStrategy] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        database: GraphDatabase,
+        config: Optional[EngineConfig] = None,
+        **overrides,
+    ) -> "Engine":
+        """Build an engine from scratch: select features, index, wire search.
+
+        ``overrides`` replace individual config fields, so quick variants
+        read naturally: ``Engine.build(db, strategy="topoPrune")``.
+        """
+        if config is None:
+            config = EngineConfig()
+        if overrides:
+            config = config.replace(**overrides)
+        measure = config.make_measure()
+        selector = make_selector(config.selector, **config.selector_params)
+        features = selector.select(database)
+        index = FragmentIndex(
+            features,
+            measure,
+            backend=config.backend,
+            backend_options=config.backend_options,
+        ).build(database)
+        return cls(database, config, index)
+
+    @classmethod
+    def from_index(
+        cls,
+        database: GraphDatabase,
+        index: FragmentIndex,
+        config: Optional[EngineConfig] = None,
+        **overrides,
+    ) -> "Engine":
+        """Wrap an already-built fragment index in an engine.
+
+        The config's measure is taken from the index so that a subsequent
+        :meth:`save` captures the semantics the index was built with.  When
+        no config is supplied the feature provenance is unknown, so the
+        selector is recorded as ``"prebuilt"`` — an unregistered name that
+        makes :meth:`build` fail loudly rather than silently rebuilding a
+        different index from a made-up selector claim.
+        """
+        if config is None:
+            config = EngineConfig(selector="prebuilt")
+        if overrides:
+            config = config.replace(**overrides)
+        config = config.replace(
+            measure=measure_to_dict(index.measure), backend=index.backend_name
+        )
+        return cls(database, config, index)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def measure(self) -> DistanceMeasure:
+        """The distance measure the engine's index was built with."""
+        return self.index.measure
+
+    @property
+    def strategy(self) -> SearchStrategy:
+        """The configured search strategy (built lazily, then cached)."""
+        if self._strategy is None:
+            self._strategy = self.make_strategy(
+                self.config.strategy, **self.config.strategy_params
+            )
+        return self._strategy
+
+    def make_strategy(self, name: str, **params) -> SearchStrategy:
+        """Build any registered strategy over this engine's database/index.
+
+        Convenient for cross-checks: ``engine.make_strategy("naive")``
+        returns the ground-truth scan over the same database and measure.
+        """
+        return make_strategy(
+            name, self.database, measure=self.measure, index=self.index, **params
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """Return a JSON-friendly summary of the engine's components."""
+        return {
+            "num_graphs": len(self.database),
+            "config": self.config.to_dict(),
+            "index": self.index.stats().as_dict(),
+            "strategy": self.config.strategy,
+        }
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def search(self, query: LabeledGraph, sigma: float) -> SearchResult:
+        """Answer one SSSD query with the configured strategy."""
+        strategy = self.strategy
+        if self.config.verify:
+            return strategy.search(query, sigma)
+        # Filter-only mode: report candidates without paying for
+        # verification (the answer set is left empty on purpose).
+        start = time.perf_counter()
+        if hasattr(strategy, "filter_candidates"):
+            # Keep the strategy's full pruning report — filter-only mode
+            # exists precisely to study it.
+            outcome = strategy.filter_candidates(query, sigma)
+            candidate_ids = outcome.candidate_ids
+            report = outcome.report
+        else:
+            candidate_ids = strategy.candidates(query, sigma)
+            report = PruningReport(
+                num_database_graphs=len(self.database),
+                num_candidates=len(candidate_ids),
+            )
+        prune_seconds = time.perf_counter() - start
+        return SearchResult(
+            sigma=sigma,
+            candidate_ids=list(candidate_ids),
+            answer_ids=[],
+            prune_seconds=prune_seconds,
+            report=report,
+            method=f"{strategy.name}(filter-only)",
+        )
+
+    def search_many(
+        self,
+        queries: Sequence[LabeledGraph],
+        sigma: float,
+        workers: Optional[int] = None,
+        executor: str = "thread",
+    ) -> BatchSearchResult:
+        """Answer a batch of queries, optionally in a worker pool.
+
+        Parameters
+        ----------
+        queries:
+            The query graphs; results come back in the same order.
+        sigma:
+            Distance threshold shared by the whole batch.
+        workers:
+            Pool size.  ``None``, ``0`` or ``1`` runs the batch
+            sequentially in the calling thread.
+        executor:
+            ``"thread"`` (default) shares the engine across a thread pool;
+            ``"process"`` pickles the engine into worker processes (worth
+            it only when verification dominates and queries are heavy).
+        """
+        queries = list(queries)
+        if executor not in ("thread", "process"):
+            raise EngineConfigError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        pool_size = int(workers or 0)
+        start = time.perf_counter()
+        if pool_size <= 1 or len(queries) <= 1:
+            results = [self.search(query, sigma) for query in queries]
+            return BatchSearchResult(
+                sigma=sigma,
+                results=results,
+                wall_seconds=time.perf_counter() - start,
+                workers=1,
+                executor="sequential",
+            )
+        if executor == "thread":
+            with ThreadPoolExecutor(max_workers=pool_size) as pool:
+                results = list(
+                    pool.map(lambda query: self.search(query, sigma), queries)
+                )
+        else:
+            # One contiguous chunk per worker keeps engine pickling cost at
+            # O(workers) instead of O(queries).
+            chunk_size = (len(queries) + pool_size - 1) // pool_size
+            chunks = [
+                queries[position : position + chunk_size]
+                for position in range(0, len(queries), chunk_size)
+            ]
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                chunk_results = list(
+                    pool.map(
+                        _search_chunk,
+                        [self] * len(chunks),
+                        chunks,
+                        [sigma] * len(chunks),
+                    )
+                )
+            results = [result for chunk in chunk_results for result in chunk]
+        return BatchSearchResult(
+            sigma=sigma,
+            results=results,
+            wall_seconds=time.perf_counter() - start,
+            workers=pool_size,
+            executor=executor,
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the engine (config + built index) to a JSON dict.
+
+        The database itself is never stored — exactly as in the paper, the
+        index holds only fragment sequences and graph ids — so loading
+        takes the database as an argument.
+        """
+        return {
+            "format": ENGINE_FORMAT,
+            "version": 1,
+            "config": self.config.to_dict(),
+            "database_fingerprint": _database_fingerprint(self.database),
+            "index": index_to_dict(self.index),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict[str, Any], database: GraphDatabase
+    ) -> "Engine":
+        """Rebuild an engine from :meth:`to_dict` output plus its database."""
+        if not isinstance(data, dict) or data.get("format") != ENGINE_FORMAT:
+            raise SerializationError("not a serialized PIS engine")
+        config = EngineConfig.from_dict(data.get("config", {}))
+        index = index_from_dict(data.get("index", {}))
+        if index.num_graphs != len(database):
+            raise EngineError(
+                f"engine was built over {index.num_graphs} graphs but the "
+                f"supplied database has {len(database)}; load the engine "
+                "with the database it was built from"
+            )
+        stored = data.get("database_fingerprint")
+        if stored is not None and stored != _database_fingerprint(database):
+            raise EngineError(
+                "the supplied database does not match the one this engine "
+                f"was built from (fingerprint {stored} != "
+                f"{_database_fingerprint(database)}); index graph ids would "
+                "point at unrelated graphs"
+            )
+        return cls(database, config, index)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the engine (config + index) to a JSON file."""
+        try:
+            Path(path).write_text(json.dumps(self.to_dict()), encoding="utf-8")
+        except OSError as exc:
+            raise SerializationError(
+                f"cannot write engine to {path}: {exc}"
+            ) from exc
+        except TypeError as exc:
+            raise SerializationError(
+                f"engine contains values that are not JSON-serializable: {exc}"
+            ) from exc
+
+    @classmethod
+    def load(
+        cls, path: Union[str, Path], database: GraphDatabase
+    ) -> "Engine":
+        """Load an engine written by :meth:`save`, binding it to ``database``."""
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SerializationError(
+                f"cannot load engine from {path}: {exc}"
+            ) from exc
+        return cls.from_dict(data, database)

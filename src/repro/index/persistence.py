@@ -82,6 +82,7 @@ def index_to_dict(index: FragmentIndex) -> Dict[str, Any]:
         "version": 1,
         "measure": measure_to_dict(index.measure),
         "backend": index.backend_name,
+        "backend_options": dict(index.backend_options),
         "num_graphs": index.num_graphs,
         "classes": classes,
     }
@@ -93,7 +94,10 @@ def index_from_dict(data: Dict[str, Any]) -> FragmentIndex:
         raise SerializationError("not a serialized PIS fragment index")
     measure = measure_from_dict(data.get("measure", {}))
     index = FragmentIndex(
-        features=[], measure=measure, backend=data.get("backend", "auto")
+        features=[],
+        measure=measure,
+        backend=data.get("backend", "auto"),
+        backend_options=data.get("backend_options"),
     )
     for class_data in data.get("classes", []):
         skeleton = LabeledGraph.from_dict(class_data["skeleton"])

@@ -5,6 +5,7 @@ from .exhaustive import ExhaustiveFeatureSelector
 from .gindex import GIndexFeatureSelector
 from .gspan import FrequentStructureMiner, GSpanFeatureSelector
 from .paths import PathFeatureSelector, cycle_structure, path_structure
+from .registry import available_selectors, make_selector, register_selector
 
 __all__ = [
     "FeatureSelector",
@@ -17,4 +18,7 @@ __all__ = [
     "FrequentStructureMiner",
     "GSpanFeatureSelector",
     "GIndexFeatureSelector",
+    "register_selector",
+    "make_selector",
+    "available_selectors",
 ]

@@ -43,6 +43,9 @@ class StructureSupport:
 class FeatureSelector:
     """Base class: turn a graph database into a list of feature structures."""
 
+    #: identifier used in registry lookups and serialized engine configs
+    name = "abstract"
+
     def select(self, database: GraphDatabase) -> List[LabeledGraph]:
         """Return the selected feature structures (skeletons)."""
         raise NotImplementedError

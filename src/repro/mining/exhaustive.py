@@ -50,6 +50,8 @@ class ExhaustiveFeatureSelector(FeatureSelector):
         Random seed for sampling.
     """
 
+    name = "exhaustive"
+
     def __init__(
         self,
         min_edges: int = 1,

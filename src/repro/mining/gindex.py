@@ -57,6 +57,8 @@ class GIndexFeatureSelector(FeatureSelector):
         discriminative first).
     """
 
+    name = "gindex"
+
     def __init__(
         self,
         min_support: float = 0.1,

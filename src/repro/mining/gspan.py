@@ -194,6 +194,8 @@ class FrequentStructureMiner:
 class GSpanFeatureSelector(FeatureSelector):
     """Feature selector returning every frequent structure (no pruning)."""
 
+    name = "gspan"
+
     def __init__(
         self,
         min_support: float = 0.1,

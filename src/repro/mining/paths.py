@@ -59,6 +59,8 @@ class PathFeatureSelector(FeatureSelector):
         Largest cycle to include when ``include_cycles`` is true.
     """
 
+    name = "paths"
+
     def __init__(
         self,
         max_path_edges: int = 4,

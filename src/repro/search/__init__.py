@@ -11,6 +11,7 @@ from .mwis import (
 from .overlap_graph import OverlapGraph
 from .partition import PartitionResult, select_partition, validate_partition
 from .pis import FilterOutcome, PISearch
+from .registry import available_strategies, make_strategy, register_strategy
 from .results import PruningReport, SearchResult
 from .selectivity import FragmentSelectivity, SelectivityEstimator
 from .strategy import SearchStrategy
@@ -35,4 +36,7 @@ __all__ = [
     "NaiveSearch",
     "TopoPruneSearch",
     "ExactTopoPruneSearch",
+    "register_strategy",
+    "make_strategy",
+    "available_strategies",
 ]

@@ -23,6 +23,7 @@ from typing import List, Optional, Set
 
 from ..core.database import GraphDatabase
 from ..core.distance import DistanceMeasure
+from ..core.errors import IndexNotBuiltError
 from ..core.graph import LabeledGraph
 from ..core.isomorphism import has_embedding
 from ..index.fragment_index import FragmentIndex
@@ -36,9 +37,6 @@ class NaiveSearch(SearchStrategy):
 
     name = "naive"
 
-    def __init__(self, database: GraphDatabase, measure: DistanceMeasure):
-        super().__init__(database=database, measure=measure)
-
     def candidates(self, query: LabeledGraph, sigma: float) -> List[int]:
         return list(self.database.graph_ids())
 
@@ -47,14 +45,28 @@ class TopoPruneSearch(SearchStrategy):
     """Feature-based structure pruning (gIndex-style), then verification.
 
     The candidate set is independent of ``sigma``: only containment of the
-    query's indexed structures matters.
+    query's indexed structures matters.  The legacy positional calling
+    convention ``TopoPruneSearch(index, database)`` is still accepted.
     """
 
     name = "topoPrune"
+    requires_index = True
 
-    def __init__(self, index: FragmentIndex, database: GraphDatabase):
-        super().__init__(database=database, measure=index.measure)
-        self.index = index
+    def __init__(
+        self,
+        database: GraphDatabase,
+        measure: Optional[DistanceMeasure] = None,
+        index: Optional[FragmentIndex] = None,
+    ):
+        if isinstance(database, FragmentIndex):
+            # Legacy calling convention: TopoPruneSearch(index, database).
+            database, index = measure, database
+            measure = None
+        if index is None:
+            raise IndexNotBuiltError(
+                "TopoPruneSearch requires a built fragment index"
+            )
+        super().__init__(database=database, measure=index.measure, index=index)
 
     def candidates(self, query: LabeledGraph, sigma: float) -> List[int]:
         num_graphs = max(self.index.num_graphs, len(self.database))
@@ -80,9 +92,6 @@ class ExactTopoPruneSearch(SearchStrategy):
     """Structure pruning by a full subgraph-isomorphism test of the skeleton."""
 
     name = "exact-topoPrune"
-
-    def __init__(self, database: GraphDatabase, measure: DistanceMeasure):
-        super().__init__(database=database, measure=measure)
 
     def candidates(self, query: LabeledGraph, sigma: float) -> List[int]:
         skeleton = query.skeleton()

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.database import GraphDatabase
+from ..core.errors import IndexNotBuiltError
 from ..core.graph import LabeledGraph
 from ..core.superimposed import best_superposition
 from ..index.fragment_index import FragmentIndex, QueryFragment
@@ -60,10 +61,15 @@ class PISearch(SearchStrategy):
 
     Parameters
     ----------
-    index:
-        A built fragment index (its measure defines the distance semantics).
     database:
         The graph database (needed only for verification).
+    measure:
+        Ignored when given: the index's measure defines the distance
+        semantics.  Accepted so every strategy shares the registry shape
+        ``(database, measure, index=None)``.
+    index:
+        A built fragment index (required).  The legacy positional calling
+        convention ``PISearch(index, database)`` is still accepted.
     epsilon:
         Selectivity floor; fragments with ``w(g) <= epsilon`` are dropped
         before the partition is selected (Algorithm 2, line 5).
@@ -75,18 +81,34 @@ class PISearch(SearchStrategy):
     """
 
     name = "pis"
+    requires_index = True
 
     def __init__(
         self,
-        index: FragmentIndex,
         database: GraphDatabase,
+        measure=None,
+        index: Optional[FragmentIndex] = None,
         epsilon: float = 0.0,
         cutoff_lambda: float = 1.0,
         partition_method: str = "greedy",
         partition_k: int = 2,
     ):
-        super().__init__(database=database, measure=index.measure)
-        self.index = index
+        if isinstance(database, FragmentIndex):
+            # Legacy calling convention: PISearch(index, database).  A third
+            # positional meant epsilon in the old signature but would land in
+            # (and be discarded from) the index slot here — reject it loudly
+            # rather than silently changing pruning behaviour.
+            if index is not None:
+                raise TypeError(
+                    "the legacy PISearch(index, database, ...) convention "
+                    "accepts further parameters as keywords only "
+                    "(e.g. epsilon=...)"
+                )
+            database, index = measure, database
+            measure = None
+        if index is None:
+            raise IndexNotBuiltError("PISearch requires a built fragment index")
+        super().__init__(database=database, measure=index.measure, index=index)
         self.epsilon = epsilon
         self.cutoff_lambda = cutoff_lambda
         self.partition_method = partition_method

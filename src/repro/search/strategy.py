@@ -7,6 +7,7 @@ from typing import Dict, List, Tuple
 
 from ..core.database import GraphDatabase
 from ..core.distance import DistanceMeasure
+from ..core.errors import EngineConfigError
 from ..core.graph import LabeledGraph
 from ..core.superimposed import best_superposition
 from .results import SearchResult
@@ -19,14 +20,34 @@ class SearchStrategy:
 
     Subclasses implement :meth:`candidates`; verification is shared so that
     every strategy returns byte-for-byte comparable answer sets.
+
+    Every strategy is instantiable with the same ``(database, measure,
+    index=None)`` shape, so the registry in :mod:`repro.search.registry` can
+    construct any of them uniformly.  Strategies that need a fragment index
+    set :attr:`requires_index` and take their measure from the index.
     """
 
-    #: strategy identifier used in reports
+    #: strategy identifier used in reports and registry lookups
     name = "abstract"
 
-    def __init__(self, database: GraphDatabase, measure: DistanceMeasure):
+    #: whether the strategy needs a built fragment index to operate
+    requires_index = False
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        measure: DistanceMeasure = None,
+        index=None,
+    ):
+        if measure is None and index is not None:
+            measure = index.measure
+        if measure is None:
+            raise EngineConfigError(
+                "a distance measure is required (directly or via an index)"
+            )
         self.database = database
         self.measure = measure
+        self.index = index
 
     def candidates(self, query: LabeledGraph, sigma: float) -> List[int]:
         """Return the candidate graph ids for one query (filtering phase)."""

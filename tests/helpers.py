@@ -1,0 +1,87 @@
+"""Importable graph-building helpers shared by the test modules.
+
+These used to live in ``tests/conftest.py``, but importing helpers *from* a
+conftest is fragile: pytest imports every ``conftest.py`` it discovers
+under the module name ``conftest``, so when the benchmark suite's conftest
+is collected first, ``from conftest import build_graph`` in a test module
+resolves to the wrong file.  A regular module with a unique name has no
+such ambiguity — test modules do ``from helpers import build_graph``.
+"""
+
+from __future__ import annotations
+
+from repro.core import LabeledGraph
+
+ATOMS = "CCCCNOS"
+BONDS = ["single", "single", "single", "double", "aromatic"]
+
+__all__ = [
+    "ATOMS",
+    "BONDS",
+    "build_graph",
+    "path_graph",
+    "cycle_graph",
+    "random_molecule",
+    "random_connected_subgraph",
+]
+
+
+def build_graph(num_vertices, edges, vertex_labels=None, edge_labels=None, name=""):
+    """Build a graph from an edge list with optional label sequences."""
+    graph = LabeledGraph(name=name)
+    for vertex in range(num_vertices):
+        label = vertex_labels[vertex] if vertex_labels else "C"
+        graph.add_vertex(vertex, label=label)
+    for position, (u, v) in enumerate(edges):
+        label = edge_labels[position] if edge_labels else "single"
+        graph.add_edge(u, v, label=label)
+    return graph
+
+
+def path_graph(num_edges, edge_labels=None, name="path"):
+    """A path with ``num_edges`` edges."""
+    return build_graph(
+        num_edges + 1,
+        [(i, i + 1) for i in range(num_edges)],
+        edge_labels=edge_labels,
+        name=name,
+    )
+
+
+def cycle_graph(num_vertices, edge_labels=None, name="cycle"):
+    """A cycle with ``num_vertices`` vertices."""
+    return build_graph(
+        num_vertices,
+        [(i, (i + 1) % num_vertices) for i in range(num_vertices)],
+        edge_labels=edge_labels,
+        name=name,
+    )
+
+
+def random_molecule(rng, num_vertices=10, extra_edges=2):
+    """A random connected labeled graph (spanning tree + extra edges)."""
+    graph = LabeledGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex, label=rng.choice(ATOMS))
+    order = list(range(num_vertices))
+    rng.shuffle(order)
+    for position in range(1, num_vertices):
+        graph.add_edge(
+            order[position], rng.choice(order[:position]), label=rng.choice(BONDS)
+        )
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < 50:
+        attempts += 1
+        u, v = rng.sample(range(num_vertices), 2)
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v, label=rng.choice(BONDS))
+            added += 1
+    return graph
+
+
+def random_connected_subgraph(graph, num_edges, rng):
+    """A random connected subgraph with ``num_edges`` edges (or None)."""
+    from repro.datasets import sample_connected_subgraph
+
+    return sample_connected_subgraph(graph, num_edges, rng)

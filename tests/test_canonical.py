@@ -17,7 +17,7 @@ from repro.core import (
     structure_code,
 )
 
-from conftest import build_graph, cycle_graph, path_graph, random_molecule
+from helpers import build_graph, cycle_graph, path_graph, random_molecule
 
 
 def random_permutation_copy(graph, rng):

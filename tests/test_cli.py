@@ -95,3 +95,38 @@ class TestCommands:
 
     def test_stats_without_arguments_fails(self, capsys):
         assert main(["stats"]) == 2
+
+    def test_query_rejects_index_engine_ambiguity(self, generated_db, built_index):
+        assert main(["query", "--database", str(generated_db)]) == 2
+        assert (
+            main(
+                [
+                    "query",
+                    "--database",
+                    str(generated_db),
+                    "--index",
+                    str(built_index),
+                    "--engine",
+                    str(built_index),
+                ]
+            )
+            == 2
+        )
+
+    def test_query_rejects_engine_with_config(self, tmp_path, generated_db, built_index):
+        config = tmp_path / "config.json"
+        config.write_text("{}")
+        assert (
+            main(
+                [
+                    "query",
+                    "--database",
+                    str(generated_db),
+                    "--engine",
+                    str(built_index),
+                    "--config",
+                    str(config),
+                ]
+            )
+            == 2
+        )

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import DatasetError, GraphDatabase, LabeledGraph
 
-from conftest import build_graph, cycle_graph, path_graph
+from helpers import build_graph, cycle_graph, path_graph
 
 
 class TestContainer:

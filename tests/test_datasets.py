@@ -27,7 +27,7 @@ from repro.datasets import (
 )
 from repro.core.errors import DatasetError
 
-from conftest import cycle_graph, path_graph
+from helpers import cycle_graph, path_graph
 
 
 class TestChemicalGenerator:

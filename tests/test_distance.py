@@ -13,7 +13,7 @@ from repro.core import (
     find_embeddings,
 )
 
-from conftest import build_graph, path_graph
+from helpers import build_graph, path_graph
 
 
 class TestMutationScoreMatrix:

@@ -25,7 +25,7 @@ from repro.index import (
 )
 from repro.mining import cycle_structure, path_structure
 
-from conftest import build_graph, cycle_graph, path_graph, random_molecule
+from helpers import build_graph, cycle_graph, path_graph, random_molecule
 
 
 class TestFragmentSequencer:

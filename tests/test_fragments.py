@@ -14,7 +14,7 @@ from repro.core import (
     iter_connected_fragments,
 )
 
-from conftest import build_graph, cycle_graph, path_graph, random_molecule
+from helpers import build_graph, cycle_graph, path_graph, random_molecule
 
 
 def brute_force_edge_sets(graph, max_edges, min_edges=1):

@@ -14,7 +14,7 @@ from repro.core import (
     edge_key,
 )
 
-from conftest import build_graph, cycle_graph, path_graph
+from helpers import build_graph, cycle_graph, path_graph
 
 
 class TestConstruction:

@@ -17,7 +17,7 @@ from repro.core import (
     iter_embeddings,
 )
 
-from conftest import build_graph, cycle_graph, path_graph, random_molecule
+from helpers import build_graph, cycle_graph, path_graph, random_molecule
 
 
 def to_networkx(graph):

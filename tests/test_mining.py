@@ -17,7 +17,7 @@ from repro.mining import (
     path_structure,
 )
 
-from conftest import build_graph, cycle_graph, path_graph, random_molecule
+from helpers import build_graph, cycle_graph, path_graph, random_molecule
 
 
 @pytest.fixture

@@ -26,7 +26,7 @@ from repro.search import (
     TopoPruneSearch,
 )
 
-from conftest import BONDS, random_molecule
+from helpers import BONDS, random_molecule
 
 
 def build_small_setup(seed, num_graphs=10, max_feature_edges=3):

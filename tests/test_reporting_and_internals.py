@@ -16,7 +16,7 @@ from repro.search.results import PruningReport
 from repro.datasets import example_database, figure2_query, generate_chemical_database
 from repro.datasets import QueryWorkload
 
-from conftest import build_graph
+from helpers import build_graph
 
 
 class TestResultContainers:

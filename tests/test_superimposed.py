@@ -18,7 +18,7 @@ from repro.core import (
 )
 from repro.datasets import sample_connected_subgraph
 
-from conftest import build_graph, cycle_graph, path_graph, random_molecule
+from helpers import build_graph, cycle_graph, path_graph, random_molecule
 
 
 class TestBasics:
