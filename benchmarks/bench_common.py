@@ -3,29 +3,85 @@
 Kept separate from ``conftest.py`` so that benchmark modules import it under
 a unique module name (``bench_common``) and never collide with the test
 suite's own ``conftest`` when both directories are collected together.
+
+Besides the shared figure configurations this module owns the
+machine-readable benchmark output: every benchmark run (the pytest figure
+suite and the ``perf_gate.py`` speedup gate) records into one JSON document
+— ``BENCH_pr2.json`` by default — which CI uploads as an artifact and
+checks against ``benchmarks/BENCH_baseline.json``.
+
+Environment knobs:
+
+``PIS_BENCH_QUICK=1``
+    Use reduced configurations sized for CI (smaller database, fewer
+    queries) instead of the figure-faithful defaults.
+``PIS_BENCH_OUTPUT=path``
+    Where to write the benchmark JSON (default ``BENCH_pr2.json`` in the
+    current working directory).
 """
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional
 
 from repro.experiments import paper_scaled_config
 
-#: configuration shared by the figure benchmarks: smaller than the paper's
-#: 10k-graph dataset (pure-Python substrate) but large enough that the
-#: relative shapes of Figures 8-12 are visible.
-BENCH_CONFIG = paper_scaled_config(
-    database_size=150,
-    queries_per_set=8,
-    feature_max_edges=5,
-    max_features=200,
-    feature_sample_size=30,
-)
+#: benchmark document format identifiers
+BENCH_FORMAT = "pis-bench"
+BENCH_VERSION = 1
+
+QUICK_MODE = os.environ.get("PIS_BENCH_QUICK", "").lower() in ("1", "true", "yes")
+
+
+def quick_bench_config():
+    """CI-sized configuration: small enough for a benchmark job measured in
+    tens of seconds, large enough that pruning behaviour is non-trivial."""
+    return paper_scaled_config(
+        database_size=60,
+        queries_per_set=4,
+        feature_max_edges=4,
+        max_features=100,
+        feature_sample_size=20,
+    )
+
+
+def full_bench_config():
+    """Figure-faithful configuration: smaller than the paper's 10k-graph
+    dataset (pure-Python substrate) but large enough that the relative
+    shapes of Figures 8-12 are visible."""
+    return paper_scaled_config(
+        database_size=150,
+        queries_per_set=8,
+        feature_max_edges=5,
+        max_features=200,
+        feature_sample_size=30,
+    )
+
+
+#: configuration shared by the figure benchmarks (mode via PIS_BENCH_QUICK)
+BENCH_CONFIG = quick_bench_config() if QUICK_MODE else full_bench_config()
 
 #: reduced configuration for the fragment-size sweep (Figure 12) which has
 #: to build one index per fragment size.
-FIGURE12_CONFIG = paper_scaled_config(
-    database_size=100,
-    queries_per_set=6,
-    feature_max_edges=5,
-    max_features=120,
-    feature_sample_size=25,
+FIGURE12_CONFIG = (
+    paper_scaled_config(
+        database_size=40,
+        queries_per_set=3,
+        feature_max_edges=4,
+        max_features=60,
+        feature_sample_size=15,
+    )
+    if QUICK_MODE
+    else paper_scaled_config(
+        database_size=100,
+        queries_per_set=6,
+        feature_max_edges=5,
+        max_features=120,
+        feature_sample_size=25,
+    )
 )
 
 
@@ -33,3 +89,80 @@ def emit(table):
     """Print a result table beneath the benchmark output."""
     print()
     print(table.to_text())
+
+
+# ----------------------------------------------------------------------
+# machine-readable benchmark results (BENCH_pr2.json)
+# ----------------------------------------------------------------------
+#: per-benchmark records accumulated during this process
+_RESULTS: Dict[str, Dict[str, Any]] = {}
+
+
+def bench_output_path() -> Path:
+    """Path of the benchmark JSON document."""
+    return Path(os.environ.get("PIS_BENCH_OUTPUT", "BENCH_pr2.json"))
+
+
+def record_benchmark(
+    name: str,
+    seconds: float,
+    counters: Optional[Dict[str, float]] = None,
+    **extra: Any,
+) -> None:
+    """Record one benchmark's wall time and performance-counter deltas."""
+    entry: Dict[str, Any] = {"seconds": round(seconds, 6)}
+    if counters:
+        entry["counters"] = {
+            key: round(value, 6) for key, value in sorted(counters.items())
+        }
+    entry.update(extra)
+    _RESULTS[name] = entry
+
+
+def _metadata() -> Dict[str, Any]:
+    # Section-independent facts only: each section records its own mode, so
+    # a quick-mode pytest run and a full-mode gate run can share one file.
+    return {
+        "format": BENCH_FORMAT,
+        "version": BENCH_VERSION,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
+
+
+def write_bench_results(
+    section: str = "benchmarks",
+    payload: Optional[Dict[str, Any]] = None,
+    path: Optional[Path] = None,
+) -> Optional[Path]:
+    """Merge one section into the benchmark JSON document and write it.
+
+    ``section="benchmarks"`` (the default) writes the records accumulated
+    via :func:`record_benchmark` under a ``tests`` key plus the run's
+    ``mode``; the speedup gate passes its own section.  Existing sections
+    written by other processes are preserved, so the pytest suite and
+    ``perf_gate.py`` can both contribute to one file.  Returns the written
+    path, or ``None`` when there is nothing to write.
+    """
+    if payload is not None:
+        content: Dict[str, Any] = payload
+    elif _RESULTS:
+        content = {
+            "mode": "quick" if QUICK_MODE else "full",
+            "tests": dict(_RESULTS),
+        }
+    else:
+        content = {}
+    if not content:
+        return None
+    target = path or bench_output_path()
+    document: Dict[str, Any] = {}
+    if target.exists():
+        try:
+            document = json.loads(target.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            document = {}
+    document.update(_metadata())
+    document[section] = content
+    target.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return target

@@ -3,12 +3,21 @@
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Every benchmark's wall time and performance-counter delta (from
+:data:`repro.perf.GLOBAL_COUNTERS`) is recorded, and the session writes the
+machine-readable ``BENCH_pr2.json`` document on exit (see
+``bench_common.write_bench_results``).
 """
+
+import time
 
 import pytest
 
 from repro.experiments import build_environment
+from repro.perf import GLOBAL_COUNTERS
 
+import bench_common
 from bench_common import BENCH_CONFIG
 
 
@@ -22,3 +31,23 @@ def bench_config():
 def bench_environment(bench_config):
     """The shared experiment environment (built once per session)."""
     return build_environment(bench_config)
+
+
+@pytest.fixture(autouse=True)
+def _record_benchmark(request):
+    """Record wall time + counter deltas of every benchmark test."""
+    before = GLOBAL_COUNTERS.snapshot()
+    start = time.perf_counter()
+    yield
+    bench_common.record_benchmark(
+        request.node.name,
+        seconds=time.perf_counter() - start,
+        counters=GLOBAL_COUNTERS.delta(before),
+    )
+
+
+def pytest_sessionfinish(session):
+    """Write the accumulated benchmark records to BENCH_pr2.json."""
+    path = bench_common.write_bench_results()
+    if path is not None:
+        print(f"\nbenchmark results written to {path}")

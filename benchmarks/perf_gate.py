@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""Benchmark gate: optimized vs pre-optimization hot paths, with CI gating.
+
+Runs the filtering workloads behind ``test_bench_pruning_cost`` (Q16
+filtering under several thresholds) and ``test_bench_figure10`` (Q24
+filtering) twice each:
+
+* once with every optimization disabled (``repro.perf.optimizations_disabled``
+  — no memo caches, hash-set candidate intersection, per-entry range scans,
+  i.e. the pre-optimization filter), and
+* once with the optimized paths on (structure-code / query-fragment /
+  range-query caches, big-int bitset intersection, vectorized scans).
+
+It asserts the two paths return **identical candidate sets**, records the
+speedup plus counter deltas into the ``gate`` section of ``BENCH_pr2.json``,
+and exits non-zero when
+
+* candidate sets differ between the paths,
+* the pruning-cost speedup is below ``--min-speedup`` (default 1.5×), or
+* any workload regresses more than ``--tolerance`` (default 20%) against
+  the checked-in baseline (``--check-baseline benchmarks/BENCH_baseline.json``).
+
+Usage::
+
+    python benchmarks/perf_gate.py --quick --check-baseline benchmarks/BENCH_baseline.json
+    python benchmarks/perf_gate.py --quick --write-baseline benchmarks/BENCH_baseline.json
+"""
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+# Make the script runnable without an installed package (repo checkout).
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+if str(_REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "benchmarks"))
+
+from repro.core.canonical import structure_code_cache  # noqa: E402
+from repro.experiments import build_environment  # noqa: E402
+from repro.perf import GLOBAL_COUNTERS, optimizations_disabled  # noqa: E402
+from repro.search.pis import PISearch  # noqa: E402
+
+import bench_common  # noqa: E402
+from bench_common import full_bench_config, quick_bench_config  # noqa: E402
+
+
+#: the measured workloads: (name, query edges, thresholds, repeat rounds)
+WORKLOADS = (
+    ("pruning_cost", 16, (1.0, 2.0, 3.0), 2),
+    ("figure10", 24, (1.0, 3.0, 5.0), 2),
+)
+
+
+def _clear_caches(environment) -> None:
+    environment.index.clear_caches()
+    structure_code_cache().clear()
+
+
+def _run_filters(environment, queries, sigmas, rounds):
+    """Run the PIS filtering phase over the workload; return (seconds, candidates)."""
+    pis = PISearch(environment.index, environment.database)
+    candidates = []
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for query in queries:
+            for sigma in sigmas:
+                candidates.append(pis.candidates(query, sigma))
+    return time.perf_counter() - start, candidates
+
+
+def run_workload(environment, name, query_edges, sigmas, rounds):
+    """Measure one workload in legacy and optimized mode; return its record."""
+    queries = environment.workload.sample_queries(
+        num_edges=query_edges, count=environment.config.queries_per_set
+    )
+
+    _clear_caches(environment)
+    with optimizations_disabled():
+        legacy_seconds, legacy_candidates = _run_filters(
+            environment, queries, sigmas, rounds
+        )
+
+    _clear_caches(environment)
+    before = GLOBAL_COUNTERS.snapshot()
+    optimized_seconds, optimized_candidates = _run_filters(
+        environment, queries, sigmas, rounds
+    )
+    counters = GLOBAL_COUNTERS.delta(before)
+
+    identical = legacy_candidates == optimized_candidates
+    blob = json.dumps(optimized_candidates).encode("utf-8")
+    record = {
+        "query_edges": query_edges,
+        "num_queries": len(queries),
+        "sigmas": list(sigmas),
+        "rounds": rounds,
+        "legacy_seconds": round(legacy_seconds, 6),
+        "optimized_seconds": round(optimized_seconds, 6),
+        "speedup": round(legacy_seconds / max(optimized_seconds, 1e-9), 3),
+        "candidates_identical": identical,
+        "candidates_sha256": hashlib.sha256(blob).hexdigest(),
+        "counters": {key: round(value, 6) for key, value in sorted(counters.items())},
+    }
+    print(
+        f"{name}: legacy {legacy_seconds:.3f}s, optimized {optimized_seconds:.3f}s "
+        f"-> {record['speedup']:.2f}x speedup, identical={identical}"
+    )
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized configuration")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="benchmark JSON path (default: $PIS_BENCH_OUTPUT or BENCH_pr2.json)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.5,
+        help="required optimized/legacy speedup on the pruning-cost workload",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        type=Path,
+        default=None,
+        help="baseline JSON to gate speedup regressions against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed relative speedup regression vs the baseline (0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        help="write the measured speedups as a new baseline JSON",
+    )
+    arguments = parser.parse_args(argv)
+
+    config = quick_bench_config() if arguments.quick else full_bench_config()
+    environment = build_environment(config)
+
+    gate = {
+        "mode": "quick" if arguments.quick else "full",
+        "database_size": config.database_size,
+        "workloads": {},
+    }
+    failures = []
+    for name, query_edges, sigmas, rounds in WORKLOADS:
+        record = run_workload(environment, name, query_edges, sigmas, rounds)
+        gate["workloads"][name] = record
+        if not record["candidates_identical"]:
+            failures.append(
+                f"{name}: optimized candidate sets differ from the "
+                "pre-optimization filter"
+            )
+
+    pruning = gate["workloads"]["pruning_cost"]
+    if pruning["speedup"] < arguments.min_speedup:
+        failures.append(
+            f"pruning_cost speedup {pruning['speedup']:.2f}x is below the "
+            f"required {arguments.min_speedup:.2f}x"
+        )
+
+    if arguments.check_baseline is not None:
+        try:
+            baseline = json.loads(arguments.check_baseline.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            failures.append(f"cannot read baseline {arguments.check_baseline}: {exc}")
+            baseline = {}
+        for name, entry in baseline.get("workloads", {}).items():
+            expected = float(entry.get("speedup", 0.0))
+            measured = gate["workloads"].get(name, {}).get("speedup")
+            if measured is None:
+                failures.append(f"baseline workload {name!r} was not measured")
+                continue
+            floor = expected * (1.0 - arguments.tolerance)
+            if measured < floor:
+                failures.append(
+                    f"{name}: speedup {measured:.2f}x regressed more than "
+                    f"{arguments.tolerance:.0%} vs baseline {expected:.2f}x "
+                    f"(floor {floor:.2f}x)"
+                )
+
+    path = bench_common.write_bench_results(
+        section="gate", payload=gate, path=arguments.output
+    )
+    print(f"gate results written to {path}")
+
+    if arguments.write_baseline is not None:
+        baseline = {
+            "format": "pis-bench-baseline",
+            "version": 1,
+            "mode": gate["mode"],
+            "workloads": {
+                name: {"speedup": record["speedup"]}
+                for name, record in gate["workloads"].items()
+            },
+        }
+        arguments.write_baseline.write_text(
+            json.dumps(baseline, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"baseline written to {arguments.write_baseline}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -86,6 +86,13 @@ from .engine import (
     Engine,
     EngineConfig,
 )
+from .perf import (
+    GLOBAL_COUNTERS,
+    MemoCache,
+    PerfCounters,
+    optimizations_disabled,
+    optimizations_enabled,
+)
 from .index import (
     EquivalenceClassIndex,
     FragmentIndex,
@@ -129,6 +136,12 @@ __all__ = [
     "Engine",
     "EngineConfig",
     "BatchSearchResult",
+    # performance
+    "PerfCounters",
+    "MemoCache",
+    "GLOBAL_COUNTERS",
+    "optimizations_enabled",
+    "optimizations_disabled",
     # registries
     "register_selector",
     "make_selector",

@@ -80,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-features", type=int, help="feature cap (default 250)"
     )
     index.add_argument("--backend", help="per-class backend (default trie)")
+    index.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for parallel fragment enumeration (0 = serial)",
+    )
     index.add_argument("--output", type=Path, help="index-only output JSON path")
     index.add_argument(
         "--engine-output",
@@ -196,7 +202,7 @@ def _command_index(arguments: argparse.Namespace) -> int:
             },
             backend=arguments.backend if arguments.backend is not None else "trie",
         )
-    engine = Engine.build(database, config)
+    engine = Engine.build(database, config, workers=arguments.workers)
     if arguments.output is not None:
         save_index(engine.index, arguments.output)
     if arguments.engine_output is not None:
@@ -280,6 +286,20 @@ def _command_stats(arguments: argparse.Namespace) -> int:
         engine = Engine.load(arguments.engine, database)
         print("engine:")
         print(json.dumps(engine.stats(), indent=2))
+        # Exercise the filtering phase once so the performance profile
+        # reflects a real pass (a freshly loaded engine has idle counters).
+        # Verification is skipped on purpose: it can dominate query time,
+        # and a stats command must stay cheap on large databases.
+        try:
+            probe = QueryWorkload(database, seed=0).sample_queries(
+                num_edges=min(6, max(1, min(g.num_edges for g in database))),
+                count=1,
+            )
+            engine.strategy.candidates(probe[0], sigma=1.0)
+        except (PISError, ValueError):
+            pass  # degenerate databases still get the (idle) profile
+        print("profile:")
+        print(json.dumps(engine.profile(), indent=2))
     return 0
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from itertools import permutations
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from ..perf import GLOBAL_COUNTERS, MemoCache, skeleton_signature
 from .graph import DEFAULT_LABEL, LabeledGraph, edge_key
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "labeled_code",
     "code_to_graph",
     "adjacency_code",
+    "structure_code_cache",
 ]
 
 # A DFS code entry: (from_index, to_index, from_label, edge_label, to_label).
@@ -307,13 +309,34 @@ def min_dfs_vertex_order(
     return witness
 
 
+#: memo cache for :func:`structure_code`, keyed by skeleton content.  The
+#: minimum-DFS-code computation explores every embedding of the minimal
+#: prefix, so it dwarfs the cost of the signature key; mining and fragment
+#: enumeration canonicalize the same (sub)graphs over and over.
+_STRUCTURE_CODE_CACHE = MemoCache(
+    "structure_code", maxsize=8192, counters=GLOBAL_COUNTERS
+)
+
+
+def structure_code_cache() -> MemoCache:
+    """Return the process-wide structure-code memo cache (for stats/tests)."""
+    return _STRUCTURE_CODE_CACHE
+
+
 def structure_code(graph: LabeledGraph) -> CanonicalCode:
     """Canonical code of the *skeleton* (labels ignored).
 
     This is the hash-table key for structural equivalence classes
-    (Definition 4).
+    (Definition 4).  Results are memoized on the skeleton's content
+    signature; the cache honours the global ``"caches"`` optimization flag.
     """
-    return min_dfs_code(graph, use_vertex_labels=False, use_edge_labels=False)
+    key = skeleton_signature(graph)
+    cached = _STRUCTURE_CODE_CACHE.get(key)
+    if cached is not MemoCache.MISS:
+        return cached
+    code = min_dfs_code(graph, use_vertex_labels=False, use_edge_labels=False)
+    _STRUCTURE_CODE_CACHE.put(key, code)
+    return code
 
 
 def labeled_code(graph: LabeledGraph) -> CanonicalCode:

@@ -26,6 +26,8 @@ from ..core.graph import LabeledGraph
 from ..index.fragment_index import FragmentIndex
 from ..index.persistence import index_from_dict, index_to_dict, measure_to_dict
 from ..mining.registry import make_selector
+from ..perf import PerfCounters
+from ..core.canonical import structure_code_cache
 from ..search.registry import make_strategy
 from ..search.results import PruningReport, SearchResult
 from ..search.strategy import SearchStrategy
@@ -88,6 +90,14 @@ class BatchSearchResult:
         return sum(result.num_answers for result in self.results)
 
     @property
+    def total_counters(self) -> Dict[str, float]:
+        """Per-query performance counters summed over the batch."""
+        totals = PerfCounters()
+        for result in self.results:
+            totals.merge(result.counters)
+        return totals.as_dict()
+
+    @property
     def total_candidates(self) -> int:
         """Total number of verified candidates across all queries."""
         return sum(result.num_candidates for result in self.results)
@@ -104,6 +114,7 @@ class BatchSearchResult:
             "total_verify_seconds": round(self.total_verify_seconds, 6),
             "total_candidates": self.total_candidates,
             "total_answers": self.total_answers,
+            "total_counters": self.total_counters,
             "results": [result.as_dict() for result in self.results],
         }
 
@@ -160,12 +171,18 @@ class Engine:
         cls,
         database: GraphDatabase,
         config: Optional[EngineConfig] = None,
+        workers: Optional[int] = None,
         **overrides,
     ) -> "Engine":
         """Build an engine from scratch: select features, index, wire search.
 
         ``overrides`` replace individual config fields, so quick variants
         read naturally: ``Engine.build(db, strategy="topoPrune")``.
+
+        ``workers > 1`` parallelizes fragment enumeration — the dominant
+        build cost — across a process pool
+        (:meth:`repro.index.FragmentIndex.build`); the resulting index is
+        identical to a serial build.
         """
         if config is None:
             config = EngineConfig()
@@ -179,7 +196,7 @@ class Engine:
             measure,
             backend=config.backend,
             backend_options=config.backend_options,
-        ).build(database)
+        ).build(database, workers=workers)
         return cls(database, config, index)
 
     @classmethod
@@ -244,6 +261,27 @@ class Engine:
             "strategy": self.config.strategy,
         }
 
+    def profile(self) -> Dict[str, Any]:
+        """Return the engine's accumulated performance profile.
+
+        The profile aggregates the index's counters (build, enumeration,
+        range queries) with the active strategy's (filtering, verification)
+        and reports the memo-cache accounting — everything needed to see
+        where query time goes without attaching an external profiler.
+        """
+        counters = PerfCounters()
+        counters.merge(self.index.counters)
+        if (
+            self._strategy is not None
+            and self._strategy.counters is not self.index.counters
+        ):
+            counters.merge(self._strategy.counters)
+        return {
+            "counters": counters.as_dict(),
+            "caches": self.index.cache_stats() + [structure_code_cache().stats()],
+            "index": self.index.stats().as_dict(),
+        }
+
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
@@ -254,6 +292,7 @@ class Engine:
             return strategy.search(query, sigma)
         # Filter-only mode: report candidates without paying for
         # verification (the answer set is left empty on purpose).
+        before = strategy.counters.snapshot()
         start = time.perf_counter()
         if hasattr(strategy, "filter_candidates"):
             # Keep the strategy's full pruning report — filter-only mode
@@ -275,6 +314,7 @@ class Engine:
             prune_seconds=prune_seconds,
             report=report,
             method=f"{strategy.name}(filter-only)",
+            counters=strategy.counters.delta(before),
         )
 
     def search_many(

@@ -7,6 +7,7 @@ from .backends import (
     make_backend,
     register_backend,
 )
+from .bitset import bit_count, bits_from_ids, full_mask, ids_from_bits
 from .class_index import EquivalenceClassIndex
 from .fragment_index import FragmentIndex, IndexStats, QueryFragment
 from .persistence import (
@@ -43,4 +44,8 @@ __all__ = [
     "load_index",
     "measure_to_dict",
     "measure_from_dict",
+    "bits_from_ids",
+    "ids_from_bits",
+    "bit_count",
+    "full_mask",
 ]

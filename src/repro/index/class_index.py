@@ -13,21 +13,91 @@ Algorithm 2, lines 9–17): *which database graphs contain a fragment of this
 class within distance sigma of a query fragment, and at what minimum
 distance?*  It also tracks which database graphs contain the structure at
 all, which is what topoPrune and the structure-violation rule use.
+
+Two hot-path optimizations live here:
+
+* the containing-graph set is additionally maintained as a big-int bitset
+  posting list (bit ``i`` set for graph ``i``), so candidate intersections
+  are single bitwise ANDs (:mod:`repro.index.bitset`);
+* for vectorizable measures (linear mutation distance) every inserted
+  sequence is also kept in a flat pre-vectorized array, and range queries
+  run as one vectorized L1 scan over that array (numpy when available)
+  instead of a per-entry Python loop.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..core.canonical import CanonicalCode
 from ..core.distance import DistanceMeasure
 from ..core.graph import LabeledGraph
+from .. import perf
 from .backends import ClassIndexBackend, make_backend
+from .bitset import bits_from_ids, supported_id
 from .sequence import FragmentSequencer
 
 __all__ = ["EquivalenceClassIndex"]
 
 AnnotationSequence = Tuple[Any, ...]
+
+try:  # numpy is optional: the vectorized scan falls back to pure Python
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+
+class _VectorStore:
+    """Pre-vectorized annotation arrays for one equivalence class.
+
+    Keeps every inserted occurrence as a numeric vector (via
+    :meth:`DistanceMeasure.vectorize`) plus the owning graph id, and answers
+    L1 range queries with one vectorized pass.  The numpy matrix is built
+    lazily and invalidated on insert.
+    """
+
+    __slots__ = ("_vectors", "_graph_ids", "_matrix")
+
+    def __init__(self):
+        self._vectors: List[Tuple[float, ...]] = []
+        self._graph_ids: List[int] = []
+        self._matrix = None
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def add(self, vector: Tuple[float, ...], graph_id: int) -> None:
+        self._vectors.append(vector)
+        self._graph_ids.append(graph_id)
+        self._matrix = None
+
+    def range_query(
+        self, point: Tuple[float, ...], radius: float
+    ) -> Dict[int, float]:
+        """``{graph_id: min L1 distance}`` over all stored vectors."""
+        results: Dict[int, float] = {}
+        if not self._vectors:
+            return results
+        if _np is not None:
+            if self._matrix is None:
+                self._matrix = _np.asarray(self._vectors, dtype=float)
+            distances = _np.abs(self._matrix - _np.asarray(point, dtype=float)).sum(
+                axis=1
+            )
+            for position in _np.nonzero(distances <= radius)[0]:
+                graph_id = self._graph_ids[position]
+                distance = float(distances[position])
+                best = results.get(graph_id)
+                if best is None or distance < best:
+                    results[graph_id] = distance
+            return results
+        for vector, graph_id in zip(self._vectors, self._graph_ids):
+            distance = sum(abs(a - b) for a, b in zip(point, vector))
+            if distance <= radius:
+                best = results.get(graph_id)
+                if best is None or distance < best:
+                    results[graph_id] = distance
+        return results
 
 
 class EquivalenceClassIndex:
@@ -47,9 +117,15 @@ class EquivalenceClassIndex:
         self.backend: ClassIndexBackend = make_backend(
             backend, measure, **(backend_options or {})
         )
-        # graphs that contain at least one occurrence of this structure
+        # graphs that contain at least one occurrence of this structure,
+        # kept both as a set (public API) and as a bitset posting list
         self._containing_graphs: Set[int] = set()
+        self._containing_bits = 0
+        self._bits_ok = True
         self._num_occurrences = 0
+        self._vector_store: Optional[_VectorStore] = (
+            _VectorStore() if measure.supports_vectorization() else None
+        )
 
     # ------------------------------------------------------------------
     # construction
@@ -59,6 +135,22 @@ class EquivalenceClassIndex:
         """Canonical skeleton of the class (vertices are DFS indices)."""
         return self.sequencer.skeleton
 
+    def _record_graph(self, graph_id: int) -> None:
+        self._containing_graphs.add(graph_id)
+        if self._bits_ok:
+            if supported_id(graph_id):
+                self._containing_bits |= 1 << graph_id
+            else:
+                # Non-contiguous / non-int ids: bitsets no longer represent
+                # this class, so strategies must use the set path.
+                self._bits_ok = False
+                self._containing_bits = 0
+
+    def _store(self, sequence: AnnotationSequence, graph_id: int) -> None:
+        self.backend.insert(sequence, graph_id)
+        if self._vector_store is not None:
+            self._vector_store.add(self.measure.vectorize(sequence), graph_id)
+
     def index_graph(self, graph_id: int, graph: LabeledGraph) -> int:
         """Index every occurrence of this class's structure in ``graph``.
 
@@ -66,17 +158,31 @@ class EquivalenceClassIndex:
         appear in the graph).
         """
         occurrences = self.sequencer.iter_occurrence_sequences(graph, self.measure)
-        for _, sequence in occurrences:
-            self.backend.insert(sequence, graph_id)
-        if occurrences:
-            self._containing_graphs.add(graph_id)
-            self._num_occurrences += len(occurrences)
-        return len(occurrences)
+        return self.insert_occurrences(
+            graph_id, [sequence for _, sequence in occurrences]
+        )
+
+    def insert_occurrences(
+        self, graph_id: int, sequences: List[AnnotationSequence]
+    ) -> int:
+        """Insert pre-enumerated occurrence sequences of one graph.
+
+        This is the insertion half of :meth:`index_graph`; the parallel
+        builder enumerates sequences in worker processes and feeds them back
+        through here so serial and parallel builds produce byte-identical
+        indexes.
+        """
+        for sequence in sequences:
+            self._store(sequence, graph_id)
+        if sequences:
+            self._record_graph(graph_id)
+            self._num_occurrences += len(sequences)
+        return len(sequences)
 
     def insert_sequence(self, sequence: AnnotationSequence, graph_id: int) -> None:
         """Insert a pre-computed occurrence sequence (used when loading)."""
-        self.backend.insert(tuple(sequence), graph_id)
-        self._containing_graphs.add(graph_id)
+        self._store(tuple(sequence), graph_id)
+        self._record_graph(graph_id)
         self._num_occurrences += 1
 
     # ------------------------------------------------------------------
@@ -90,12 +196,42 @@ class EquivalenceClassIndex:
         This evaluates ``d(g, G)`` of Eq. (3) restricted to this class: the
         minimum, over the stored occurrences of each graph, of the sequence
         distance to the query fragment — reported only when ``<= sigma``.
+
+        For vectorizable measures the scan runs over the pre-vectorized
+        annotation arrays (one vectorized pass) unless the ``"vectorized"``
+        optimization flag is off.
         """
+        if self._vector_store is not None and perf.optimizations_enabled("vectorized"):
+            return self._vector_store.range_query(
+                self.measure.vectorize(tuple(sequence)), sigma
+            )
         return self.backend.range_query(tuple(sequence), sigma)
 
     def containing_graphs(self) -> Set[int]:
         """Graphs containing at least one occurrence of the structure."""
         return set(self._containing_graphs)
+
+    @property
+    def supports_bitsets(self) -> bool:
+        """Whether every indexed graph id fits the bitset representation."""
+        return self._bits_ok
+
+    @property
+    def containing_bits(self) -> int:
+        """Bitset posting list of the containing graphs.
+
+        Only meaningful when :attr:`supports_bitsets` is true; computed
+        incrementally on insert, so reading it is O(1).
+        """
+        if not self._bits_ok:
+            # Defensive: rebuild from the set so callers that ignore the
+            # flag still get a correct (if partial-id) answer.
+            return bits_from_ids(
+                graph_id
+                for graph_id in self._containing_graphs
+                if supported_id(graph_id)
+            )
+        return self._containing_bits
 
     @property
     def num_containing_graphs(self) -> int:

@@ -17,10 +17,21 @@ At query time, :meth:`FragmentIndex.enumerate_query_fragments` finds every
 indexed fragment inside a query graph; the partition-based search then picks
 a vertex-disjoint subset of them and combines their per-class range queries
 into the lower bound of Eq. (2).
+
+Performance machinery (all honouring the global optimization flags in
+:mod:`repro.perf`):
+
+* every index owns a :class:`~repro.perf.PerfCounters` instance shared with
+  the strategies built over it;
+* query-fragment enumeration and per-fragment range queries are memoized in
+  bounded LRU caches (invalidated whenever the index mutates);
+* :meth:`build` can fan fragment enumeration out over worker processes
+  (``workers=N``), producing an index byte-identical to the serial build.
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple, Union
 
@@ -29,7 +40,11 @@ from ..core.database import GraphDatabase
 from ..core.distance import DistanceMeasure
 from ..core.errors import FeatureNotIndexedError, IndexNotBuiltError
 from ..core.graph import LabeledGraph, edge_key
+from .. import perf
+from ..perf import GLOBAL_COUNTERS, MemoCache, PerfCounters, graph_signature
+from .bitset import bits_from_ids
 from .class_index import EquivalenceClassIndex
+from .sequence import FragmentSequencer
 
 __all__ = ["FragmentIndex", "QueryFragment", "IndexStats"]
 
@@ -98,6 +113,37 @@ class IndexStats:
         }
 
 
+def _enumerate_chunk(
+    codes: List[CanonicalCode],
+    measure: DistanceMeasure,
+    chunk: List[Tuple[int, LabeledGraph]],
+) -> List[Tuple[int, List[Tuple[CanonicalCode, List[AnnotationSequence]]]]]:
+    """Worker task of the parallel build: enumerate one slice of the database.
+
+    Returns, per graph, the occurrence sequences of every class in the order
+    the classes were given, so the parent process can replay insertions in
+    exactly the serial order.
+    """
+    sequencers = [(code, FragmentSequencer(code)) for code in codes]
+    results: List[Tuple[int, List[Tuple[CanonicalCode, List[AnnotationSequence]]]]] = []
+    for graph_id, graph in chunk:
+        per_graph: List[Tuple[CanonicalCode, List[AnnotationSequence]]] = []
+        for code, sequencer in sequencers:
+            skeleton = sequencer.skeleton
+            if (
+                skeleton.num_vertices > graph.num_vertices
+                or skeleton.num_edges > graph.num_edges
+            ):
+                continue
+            occurrences = sequencer.iter_occurrence_sequences(graph, measure)
+            if occurrences:
+                per_graph.append(
+                    (code, [sequence for _, sequence in occurrences])
+                )
+        results.append((graph_id, per_graph))
+    return results
+
+
 class FragmentIndex:
     """Hash table of structural equivalence classes with per-class indexes.
 
@@ -130,12 +176,31 @@ class FragmentIndex:
         self._classes: Dict[CanonicalCode, EquivalenceClassIndex] = {}
         self._num_graphs = 0
         self._built = False
+        self.counters = PerfCounters(mirror=GLOBAL_COUNTERS)
+        self._fragment_cache = MemoCache(
+            "query_fragments", maxsize=256, counters=self.counters
+        )
+        self._range_cache = MemoCache(
+            "range_query", maxsize=16384, counters=self.counters
+        )
         for feature in features:
             self.add_feature(feature)
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    def _invalidate_caches(self) -> None:
+        self._fragment_cache.clear()
+        self._range_cache.clear()
+
+    def clear_caches(self) -> None:
+        """Drop the query-fragment and range-query memo caches."""
+        self._invalidate_caches()
+
+    def cache_stats(self) -> List[Dict[str, Any]]:
+        """Accounting of the index-owned memo caches (JSON-friendly)."""
+        return [self._fragment_cache.stats(), self._range_cache.stats()]
+
     def add_feature(self, feature: LabeledGraph) -> CanonicalCode:
         """Register a feature structure; returns its canonical code."""
         if feature.num_edges == 0:
@@ -148,20 +213,81 @@ class FragmentIndex:
                 backend=self.backend_name,
                 backend_options=self.backend_options,
             )
+            self._invalidate_caches()
         return code
 
-    def build(self, database: Union[GraphDatabase, Iterable[LabeledGraph]]) -> "FragmentIndex":
+    def build(
+        self,
+        database: Union[GraphDatabase, Iterable[LabeledGraph]],
+        workers: Optional[int] = None,
+    ) -> "FragmentIndex":
         """Scan the database and index every fragment of every feature class.
+
+        ``workers > 1`` fans fragment enumeration (the dominant cost: one
+        subgraph-embedding search per class and graph) out over a process
+        pool; insertions are replayed in database order, so the resulting
+        index is identical to a serial build.  Falls back to the serial path
+        if a worker pool cannot be created or the ``"parallel"``
+        optimization flag is off.
 
         Returns ``self`` so construction can be chained.
         """
         if not isinstance(database, GraphDatabase):
             database = GraphDatabase(database)
         self._num_graphs = len(database)
-        for graph_id, graph in database.items():
-            self.index_graph(graph_id, graph)
+        pool_size = int(workers or 0)
+        with self.counters.timer("index_build"):
+            if (
+                pool_size > 1
+                and len(database) > 1
+                and self._classes
+                and perf.optimizations_enabled("parallel")
+            ):
+                self._build_parallel(database, pool_size)
+            else:
+                for graph_id, graph in database.items():
+                    self.index_graph(graph_id, graph)
         self._built = True
         return self
+
+    def _build_parallel(self, database: GraphDatabase, workers: int) -> None:
+        """Enumerate fragments in a process pool; insert in serial order."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        items = list(database.items())
+        chunk_size = max(1, (len(items) + workers - 1) // workers)
+        chunks = [
+            items[position : position + chunk_size]
+            for position in range(0, len(items), chunk_size)
+        ]
+        codes = list(self._classes)
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chunk_results = list(
+                    pool.map(
+                        _enumerate_chunk,
+                        [codes] * len(chunks),
+                        [self.measure] * len(chunks),
+                        chunks,
+                    )
+                )
+        except (OSError, ValueError, RuntimeError, TypeError, pickle.PicklingError, AttributeError):
+            # Sandboxes without process support, unpicklable measures or
+            # graphs (PicklingError/TypeError/AttributeError), etc.:
+            # degrade to the serial build rather than failing the caller.
+            self.counters.increment("index_build.parallel_fallbacks")
+            for graph_id, graph in items:
+                self.index_graph(graph_id, graph)
+            return
+        self.counters.increment("index_build.parallel_chunks", len(chunks))
+        for chunk_result in chunk_results:
+            for graph_id, per_graph in chunk_result:
+                for code, sequences in per_graph:
+                    inserted = self._classes[code].insert_occurrences(
+                        graph_id, sequences
+                    )
+                    self.counters.increment("index_build.occurrences", inserted)
+        self._invalidate_caches()
 
     def index_graph(self, graph_id: int, graph: LabeledGraph) -> int:
         """Index all feature occurrences of a single graph.
@@ -181,6 +307,8 @@ class FragmentIndex:
         if graph_id >= self._num_graphs:
             self._num_graphs = graph_id + 1
         self._built = True
+        self.counters.increment("index_build.occurrences", total)
+        self._invalidate_caches()
         return total
 
     # ------------------------------------------------------------------
@@ -195,6 +323,13 @@ class FragmentIndex:
     def num_classes(self) -> int:
         """Number of structural equivalence classes."""
         return len(self._classes)
+
+    @property
+    def supports_bitsets(self) -> bool:
+        """Whether every per-class posting list has a valid bitset."""
+        return all(
+            class_index.supports_bitsets for class_index in self._classes.values()
+        )
 
     def codes(self) -> Iterator[CanonicalCode]:
         """Iterate over the canonical codes of the indexed classes."""
@@ -252,42 +387,99 @@ class FragmentIndex:
         entry, because all database-side variants are indexed and the range
         query is therefore insensitive to which variant represents the query
         fragment.
+
+        Results are memoized per query content (the same query graph is
+        filtered repeatedly — by PIS and topoPrune, under several
+        thresholds, across benchmark rounds); the cache is invalidated
+        whenever the index mutates.
         """
         if not self._built and self._num_graphs == 0:
             raise IndexNotBuiltError(
                 "the fragment index must be built before enumerating query fragments"
             )
-        fragments: Dict[Tuple[CanonicalCode, FrozenSet[EdgeKey]], QueryFragment] = {}
-        for code, class_index in self._classes.items():
-            skeleton = class_index.skeleton
-            if (
-                skeleton.num_vertices > query.num_vertices
-                or skeleton.num_edges > query.num_edges
-            ):
-                continue
-            for embedding, sequence in class_index.sequencer.iter_occurrence_sequences(
-                query, self.measure
-            ):
-                covered_edges = frozenset(
-                    edge_key(embedding.mapping[u], embedding.mapping[v])
-                    for (u, v) in skeleton.edges()
-                )
-                key = (code, covered_edges)
-                if key in fragments:
+        # Skip even the signature computation when caches are off, so the
+        # legacy path measured by the benchmark gate stays cache-free.
+        key = graph_signature(query) if perf.optimizations_enabled("caches") else None
+        if key is not None:
+            cached = self._fragment_cache.get(key)
+            if cached is not MemoCache.MISS:
+                return list(cached)
+        with self.counters.timer("enumerate_query_fragments"):
+            fragments: Dict[Tuple[CanonicalCode, FrozenSet[EdgeKey]], QueryFragment] = {}
+            for code, class_index in self._classes.items():
+                skeleton = class_index.skeleton
+                if (
+                    skeleton.num_vertices > query.num_vertices
+                    or skeleton.num_edges > query.num_edges
+                ):
                     continue
-                fragments[key] = QueryFragment(
-                    code=code,
-                    vertices=frozenset(embedding.mapping.values()),
-                    edges=covered_edges,
-                    sequence=sequence,
-                )
-        return list(fragments.values())
+                for embedding, sequence in class_index.sequencer.iter_occurrence_sequences(
+                    query, self.measure
+                ):
+                    covered_edges = frozenset(
+                        edge_key(embedding.mapping[u], embedding.mapping[v])
+                        for (u, v) in skeleton.edges()
+                    )
+                    fragment_key = (code, covered_edges)
+                    if fragment_key in fragments:
+                        continue
+                    fragments[fragment_key] = QueryFragment(
+                        code=code,
+                        vertices=frozenset(embedding.mapping.values()),
+                        edges=covered_edges,
+                        sequence=sequence,
+                    )
+        result = list(fragments.values())
+        self.counters.increment("query_fragments.enumerated", len(result))
+        if key is not None:
+            # Return a copy, never the cached list itself: a caller mutating
+            # its fragment list must not corrupt later cache hits.
+            self._fragment_cache.put(key, result)
+            return list(result)
+        return result
 
     def range_query(
         self, fragment: QueryFragment, sigma: float
     ) -> Dict[int, float]:
-        """Range query for one query fragment: ``{graph_id: min distance}``."""
-        return self.get_class(fragment.code).range_query(fragment.sequence, sigma)
+        """Range query for one query fragment: ``{graph_id: min distance}``.
+
+        The returned mapping may be shared with the memo cache — treat it as
+        read-only.
+        """
+        distances, _ = self.range_query_with_bits(fragment, sigma, want_bits=False)
+        return distances
+
+    def range_query_with_bits(
+        self, fragment: QueryFragment, sigma: float, want_bits: bool = True
+    ) -> Tuple[Dict[int, float], Optional[int]]:
+        """Range query returning ``(distances, bitset of matched ids)``.
+
+        The bitset packs the keys of the distance mapping
+        (:mod:`repro.index.bitset`), letting the search intersect candidate
+        sets with bitwise ANDs.  It is computed lazily — only when
+        ``want_bits`` is true, so the legacy set-based path never pays for
+        packing — and memoized per ``(class, sequence, sigma)`` alongside
+        the distances.  The returned mapping must not be mutated.
+        """
+        key = (fragment.code, fragment.sequence, sigma)
+        entry = self._range_cache.get(key)
+        if entry is MemoCache.MISS:
+            with self.counters.timer("range_query"):
+                distances = self.get_class(fragment.code).range_query(
+                    fragment.sequence, sigma
+                )
+            # Mutable [distances, bits-or-None] so a later bit-wanting call
+            # can fill the bitset in place for subsequent cache hits.
+            entry = [distances, None]
+            self._range_cache.put(key, entry)
+        if want_bits and entry[1] is None:
+            try:
+                entry[1] = bits_from_ids(entry[0])
+            except (TypeError, ValueError):
+                # Exotic graph ids that don't fit a bitset; callers consult
+                # FragmentIndex.supports_bitsets before trusting the bits.
+                entry[1] = 0
+        return entry[0], entry[1]
 
     def __repr__(self) -> str:
         low, high = self.fragment_size_range()

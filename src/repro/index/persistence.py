@@ -34,6 +34,8 @@ __all__ = [
     "index_from_dict",
     "save_index",
     "load_index",
+    "INDEX_SCHEMA_VERSION",
+    "SUPPORTED_INDEX_VERSIONS",
 ]
 
 
@@ -61,6 +63,16 @@ def measure_from_dict(data: Dict[str, Any]) -> DistanceMeasure:
     raise SerializationError(f"unknown distance measure {name!r}")
 
 
+#: current index schema version.  Version 2 adds the per-class occurrence
+#: count — version 1 conflated it with the distinct-entry count on reload,
+#: because duplicate sequences collapse in the backend — so a loaded index
+#: reports statistics identical to the index that was saved.
+INDEX_SCHEMA_VERSION = 2
+
+#: schema versions this loader understands
+SUPPORTED_INDEX_VERSIONS = (1, 2)
+
+
 def index_to_dict(index: FragmentIndex) -> Dict[str, Any]:
     """Serialize a built :class:`FragmentIndex` to a JSON-friendly dict."""
     classes = []
@@ -71,6 +83,7 @@ def index_to_dict(index: FragmentIndex) -> Dict[str, Any]:
         classes.append(
             {
                 "skeleton": class_index.skeleton.to_dict(),
+                "num_occurrences": class_index.num_occurrences,
                 "entries": [
                     {"sequence": list(sequence), "graph_ids": sorted(graph_ids)}
                     for sequence, graph_ids in grouped.items()
@@ -79,7 +92,7 @@ def index_to_dict(index: FragmentIndex) -> Dict[str, Any]:
         )
     return {
         "format": "pis-fragment-index",
-        "version": 1,
+        "version": INDEX_SCHEMA_VERSION,
         "measure": measure_to_dict(index.measure),
         "backend": index.backend_name,
         "backend_options": dict(index.backend_options),
@@ -89,9 +102,20 @@ def index_to_dict(index: FragmentIndex) -> Dict[str, Any]:
 
 
 def index_from_dict(data: Dict[str, Any]) -> FragmentIndex:
-    """Rebuild a :class:`FragmentIndex` from :func:`index_to_dict` output."""
+    """Rebuild a :class:`FragmentIndex` from :func:`index_to_dict` output.
+
+    Accepts every schema version in :data:`SUPPORTED_INDEX_VERSIONS`;
+    version-2 files restore exact per-class occurrence counts, version-1
+    files keep their historical behaviour (occurrences == entries).
+    """
     if data.get("format") != "pis-fragment-index":
         raise SerializationError("not a serialized PIS fragment index")
+    version = data.get("version", 1)
+    if version not in SUPPORTED_INDEX_VERSIONS:
+        raise SerializationError(
+            f"unsupported index schema version {version!r}; "
+            f"supported: {list(SUPPORTED_INDEX_VERSIONS)}"
+        )
     measure = measure_from_dict(data.get("measure", {}))
     index = FragmentIndex(
         features=[],
@@ -107,6 +131,9 @@ def index_from_dict(data: Dict[str, Any]) -> FragmentIndex:
             sequence = tuple(entry["sequence"])
             for graph_id in entry["graph_ids"]:
                 class_index.insert_sequence(sequence, graph_id)
+        stored_occurrences = class_data.get("num_occurrences")
+        if stored_occurrences is not None:
+            class_index._num_occurrences = int(stored_occurrences)
     index._num_graphs = int(data.get("num_graphs", 0))
     index._built = True
     return index

@@ -26,6 +26,8 @@ from ..core.distance import DistanceMeasure
 from ..core.errors import IndexNotBuiltError
 from ..core.graph import LabeledGraph
 from ..core.isomorphism import has_embedding
+from .. import perf
+from ..index.bitset import ids_from_bits
 from ..index.fragment_index import FragmentIndex
 from .strategy import SearchStrategy
 
@@ -71,7 +73,11 @@ class TopoPruneSearch(SearchStrategy):
     def candidates(self, query: LabeledGraph, sigma: float) -> List[int]:
         num_graphs = max(self.index.num_graphs, len(self.database))
         fragments = self.index.enumerate_query_fragments(query)
+        use_bits = (
+            perf.optimizations_enabled("bitsets") and self.index.supports_bitsets
+        )
         candidate_ids: Optional[Set[int]] = None
+        candidate_bits: Optional[int] = None
         seen_codes: Set = set()
         for fragment in fragments:
             # Structure containment depends only on the equivalence class,
@@ -79,10 +85,23 @@ class TopoPruneSearch(SearchStrategy):
             if fragment.code in seen_codes:
                 continue
             seen_codes.add(fragment.code)
-            containing = self.index.get_class(fragment.code).containing_graphs()
-            candidate_ids = (
-                containing if candidate_ids is None else candidate_ids & containing
-            )
+            class_index = self.index.get_class(fragment.code)
+            if use_bits:
+                # Posting lists are big-int bitsets: one AND per class.
+                bits = class_index.containing_bits
+                candidate_bits = (
+                    bits if candidate_bits is None else candidate_bits & bits
+                )
+            else:
+                containing = class_index.containing_graphs()
+                candidate_ids = (
+                    containing if candidate_ids is None else candidate_ids & containing
+                )
+        self.counters.increment("topo.classes_intersected", len(seen_codes))
+        if use_bits:
+            if candidate_bits is None:
+                return list(range(num_graphs))
+            return ids_from_bits(candidate_bits)
         if candidate_ids is None:
             candidate_ids = set(range(num_graphs))
         return sorted(candidate_ids)

@@ -23,12 +23,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..core.database import GraphDatabase
 from ..core.errors import IndexNotBuiltError
 from ..core.graph import LabeledGraph
-from ..core.superimposed import best_superposition
+from .. import perf
+from ..index.bitset import ids_from_bits
 from ..index.fragment_index import FragmentIndex, QueryFragment
 from .partition import PartitionResult, select_partition
 from .results import PruningReport, SearchResult
@@ -118,15 +119,30 @@ class PISearch(SearchStrategy):
     # filtering (Algorithm 2)
     # ------------------------------------------------------------------
     def filter_candidates(self, query: LabeledGraph, sigma: float) -> FilterOutcome:
-        """Run the partition-based filtering phase and return its outcome."""
+        """Run the partition-based filtering phase and return its outcome.
+
+        Candidate sets are intersected as big-int bitsets (one bitwise AND
+        per fragment) when the index supports it and the ``"bitsets"``
+        optimization flag is on; the legacy hash-set path is kept both as a
+        fallback and as the reference the benchmark gate compares against.
+        Both paths produce identical outcomes.
+        """
+        with self.counters.timer("filter"):
+            return self._filter_candidates(query, sigma)
+
+    def _filter_candidates(self, query: LabeledGraph, sigma: float) -> FilterOutcome:
         num_graphs = max(self.index.num_graphs, len(self.database))
         report = PruningReport(num_database_graphs=num_graphs)
+        use_bits = (
+            perf.optimizations_enabled("bitsets") and self.index.supports_bitsets
+        )
 
         # Lines 3-4: enumerate the indexed fragments of the query graph.
         fragments = self.index.enumerate_query_fragments(query)
         report.num_query_fragments = len(fragments)
 
-        candidate_ids: Optional[Set[int]] = None
+        candidate_set: Optional[Set[int]] = None
+        candidate_bits: Optional[int] = None
         fragment_distances: Dict[int, Dict[int, float]] = {}
         estimator = SelectivityEstimator(
             num_graphs=num_graphs, sigma=sigma, cutoff_lambda=self.cutoff_lambda
@@ -135,17 +151,35 @@ class PISearch(SearchStrategy):
 
         # Lines 6-18: one range query per fragment; intersect the matching
         # graph sets; compute the fragment selectivities.
+        self.counters.increment("filter.range_queries", len(fragments))
         for position, fragment in enumerate(fragments):
-            distances = self.index.range_query(fragment, sigma)
+            distances, bits = self.index.range_query_with_bits(
+                fragment, sigma, want_bits=use_bits
+            )
             fragment_distances[position] = distances
             selectivities.append(estimator.from_range_result(distances).weight)
-            matched = set(distances)
-            candidate_ids = matched if candidate_ids is None else candidate_ids & matched
+            if use_bits:
+                candidate_bits = (
+                    bits if candidate_bits is None else candidate_bits & bits
+                )
+            else:
+                matched = set(distances)
+                candidate_set = (
+                    matched if candidate_set is None else candidate_set & matched
+                )
 
-        if candidate_ids is None:
-            # No indexed fragment occurs in the query: the index cannot
-            # prune anything and every graph stays a candidate.
-            candidate_ids = set(range(num_graphs))
+        if use_bits:
+            if candidate_bits is None:
+                # No indexed fragment occurs in the query: the index cannot
+                # prune anything and every graph stays a candidate.
+                candidate_ids: List[int] = list(range(num_graphs))
+            else:
+                candidate_ids = ids_from_bits(candidate_bits)
+        else:
+            if candidate_set is None:
+                candidate_ids = list(range(num_graphs))
+            else:
+                candidate_ids = sorted(candidate_set)
 
         report.num_structure_candidates = len(candidate_ids)
 
@@ -170,15 +204,20 @@ class PISearch(SearchStrategy):
             report.partition_size = partition.size
             report.partition_weight = partition.weight
 
-            # Lines 21-23: apply the lower bound of Eq. (2).
+            # Lines 21-23: apply the lower bound of Eq. (2).  Candidates are
+            # visited in ascending id order, so the surviving list is sorted
+            # by construction.
             partition_positions = [
                 eligible[node] for node in sorted(partition.mwis.nodes)
             ]
-            surviving: Set[int] = set()
+            partition_maps = [
+                fragment_distances[position] for position in partition_positions
+            ]
+            surviving: List[int] = []
             for graph_id in candidate_ids:
                 bound = 0.0
-                for position in partition_positions:
-                    distance = fragment_distances[position].get(graph_id)
+                for distances in partition_maps:
+                    distance = distances.get(graph_id)
                     if distance is None:
                         # The graph has no occurrence of this fragment within
                         # sigma, so its superimposed distance already exceeds
@@ -190,12 +229,13 @@ class PISearch(SearchStrategy):
                         break
                 lower_bounds[graph_id] = bound
                 if bound <= sigma:
-                    surviving.add(graph_id)
+                    surviving.append(graph_id)
             candidate_ids = surviving
 
         report.num_candidates = len(candidate_ids)
+        self.counters.increment("filter.candidates", len(candidate_ids))
         return FilterOutcome(
-            candidate_ids=sorted(candidate_ids),
+            candidate_ids=candidate_ids,
             fragment_distances=fragment_distances,
             fragments=fragments,
             selectivities=selectivities,
@@ -213,20 +253,13 @@ class PISearch(SearchStrategy):
 
     def search(self, query: LabeledGraph, sigma: float) -> SearchResult:
         """Answer one SSSD query: filter, then verify the candidates."""
+        before = self.counters.snapshot()
         start = time.perf_counter()
         outcome = self.filter_candidates(query, sigma)
         prune_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        answers: List[int] = []
-        distances: Dict[int, float] = {}
-        for graph_id in outcome.candidate_ids:
-            result = best_superposition(
-                query, self.database[graph_id], self.measure, threshold=sigma
-            )
-            if result.distance <= sigma:
-                answers.append(graph_id)
-                distances[graph_id] = result.distance
+        answers, distances = self.verify(query, sigma, outcome.candidate_ids)
         verify_seconds = time.perf_counter() - start
 
         return SearchResult(
@@ -238,4 +271,5 @@ class PISearch(SearchStrategy):
             verify_seconds=verify_seconds,
             report=outcome.report,
             method=self.name,
+            counters=self.counters.delta(before),
         )

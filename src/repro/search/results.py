@@ -73,6 +73,12 @@ class SearchResult:
         Filtering diagnostics (PIS only; baselines fill what applies).
     method:
         Name of the strategy that produced this result.
+    counters:
+        Performance counter deltas attributable to this query (cache
+        hits/misses, range-query calls, verification work); populated by
+        strategies that share a :class:`~repro.perf.PerfCounters` sink.
+        Deltas from concurrently executing queries may interleave when a
+        batch runs in a thread pool.
     """
 
     sigma: float
@@ -83,6 +89,7 @@ class SearchResult:
     verify_seconds: float = 0.0
     report: PruningReport = field(default_factory=PruningReport)
     method: str = ""
+    counters: Dict[str, float] = field(default_factory=dict)
 
     @property
     def num_candidates(self) -> int:
@@ -109,4 +116,8 @@ class SearchResult:
             "prune_seconds": round(self.prune_seconds, 6),
             "verify_seconds": round(self.verify_seconds, 6),
             "report": self.report.as_dict(),
+            "counters": {
+                name: round(value, 6)
+                for name, value in sorted(self.counters.items())
+            },
         }

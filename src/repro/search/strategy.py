@@ -10,6 +10,7 @@ from ..core.distance import DistanceMeasure
 from ..core.errors import EngineConfigError
 from ..core.graph import LabeledGraph
 from ..core.superimposed import best_superposition
+from ..perf import GLOBAL_COUNTERS, PerfCounters
 from .results import SearchResult
 
 __all__ = ["SearchStrategy"]
@@ -48,6 +49,15 @@ class SearchStrategy:
         self.database = database
         self.measure = measure
         self.index = index
+        # Index-backed strategies share the index's counter sink so that
+        # filtering and verification report into one place; index-free
+        # baselines own a private sink.
+        index_counters = getattr(index, "counters", None)
+        self.counters: PerfCounters = (
+            index_counters
+            if isinstance(index_counters, PerfCounters)
+            else PerfCounters(mirror=GLOBAL_COUNTERS)
+        )
 
     def candidates(self, query: LabeledGraph, sigma: float) -> List[int]:
         """Return the candidate graph ids for one query (filtering phase)."""
@@ -59,17 +69,23 @@ class SearchStrategy:
         """Verify candidates: keep graphs whose true distance is within sigma."""
         answers: List[int] = []
         distances: Dict[int, float] = {}
-        for graph_id in candidate_ids:
-            result = best_superposition(
-                query, self.database[graph_id], self.measure, threshold=sigma
-            )
-            if result.distance <= sigma:
-                answers.append(graph_id)
-                distances[graph_id] = result.distance
+        explored = 0
+        with self.counters.timer("verify"):
+            for graph_id in candidate_ids:
+                result = best_superposition(
+                    query, self.database[graph_id], self.measure, threshold=sigma
+                )
+                explored += result.explored
+                if result.distance <= sigma:
+                    answers.append(graph_id)
+                    distances[graph_id] = result.distance
+        self.counters.increment("verify.candidates", len(candidate_ids))
+        self.counters.increment("verify.superpositions_explored", explored)
         return answers, distances
 
     def search(self, query: LabeledGraph, sigma: float) -> SearchResult:
         """Run filtering + verification and time the two phases."""
+        before = self.counters.snapshot()
         start = time.perf_counter()
         candidate_ids = self.candidates(query, sigma)
         prune_seconds = time.perf_counter() - start
@@ -86,6 +102,7 @@ class SearchStrategy:
             prune_seconds=prune_seconds,
             verify_seconds=verify_seconds,
             method=self.name,
+            counters=self.counters.delta(before),
         )
         result.report.num_database_graphs = len(self.database)
         result.report.num_candidates = len(candidate_ids)

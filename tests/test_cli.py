@@ -96,6 +96,63 @@ class TestCommands:
     def test_stats_without_arguments_fails(self, capsys):
         assert main(["stats"]) == 2
 
+    def test_stats_engine_reports_perf_counters(self, tmp_path, generated_db, capsys):
+        engine_path = tmp_path / "engine.json"
+        assert (
+            main(
+                [
+                    "index",
+                    "--database",
+                    str(generated_db),
+                    "--max-edges",
+                    "3",
+                    "--engine-output",
+                    str(engine_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "stats",
+                    "--database",
+                    str(generated_db),
+                    "--engine",
+                    str(engine_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        # The profile section must carry real counter lines from the probe
+        # query the stats command runs against the loaded engine.
+        assert '"counters"' in output
+        assert "filter.calls" in output
+        assert '"caches"' in output
+
+    def test_index_parallel_workers_matches_serial(self, tmp_path, generated_db):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        for path, workers in ((serial, []), (parallel, ["--workers", "2"])):
+            assert (
+                main(
+                    [
+                        "index",
+                        "--database",
+                        str(generated_db),
+                        "--max-edges",
+                        "3",
+                        "--output",
+                        str(path),
+                    ]
+                    + workers
+                )
+                == 0
+            )
+        assert json.loads(serial.read_text()) == json.loads(parallel.read_text())
+
     def test_query_rejects_index_engine_ambiguity(self, generated_db, built_index):
         assert main(["query", "--database", str(generated_db)]) == 2
         assert (
