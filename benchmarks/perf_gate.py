@@ -3,20 +3,25 @@
 
 Runs the filtering workloads behind ``test_bench_pruning_cost`` (Q16
 filtering under several thresholds) and ``test_bench_figure10`` (Q24
-filtering) twice each:
+filtering), plus a **verification workload** (full figure10 searches —
+filter *and* verify), twice each:
 
 * once with every optimization disabled (``repro.perf.optimizations_disabled``
   — no memo caches, hash-set candidate intersection, per-entry range scans,
-  i.e. the pre-optimization filter), and
+  and the legacy sequential verifier), and
 * once with the optimized paths on (structure-code / query-fragment /
-  range-query caches, big-int bitset intersection, vectorized scans).
+  range-query / exact-distance caches, big-int bitset intersection,
+  vectorized scans, and the bounded verifier of ``repro.search.verify``).
 
-It asserts the two paths return **identical candidate sets**, records the
-speedup plus counter deltas into the ``gate`` section of ``BENCH_pr2.json``,
-and exits non-zero when
+It asserts the two paths return **identical candidate sets** (filter
+workloads) and **identical answer ids and distances** (verify workload),
+records the speedups plus counter deltas into the ``gate`` section of
+``BENCH_pr3.json``, and exits non-zero when
 
-* candidate sets differ between the paths,
-* the pruning-cost speedup is below ``--min-speedup`` (default 1.5×), or
+* candidate sets or answer sets differ between the paths,
+* the pruning-cost speedup is below ``--min-speedup`` (default 1.5×),
+* the verify-phase speedup is below ``--min-verify-speedup`` (default
+  1.5×), or
 * any workload regresses more than ``--tolerance`` (default 20%) against
   the checked-in baseline (``--check-baseline benchmarks/BENCH_baseline.json``).
 
@@ -49,11 +54,14 @@ import bench_common  # noqa: E402
 from bench_common import full_bench_config, quick_bench_config  # noqa: E402
 
 
-#: the measured workloads: (name, query edges, thresholds, repeat rounds)
+#: the measured filtering workloads: (name, query edges, thresholds, rounds)
 WORKLOADS = (
     ("pruning_cost", 16, (1.0, 2.0, 3.0), 2),
     ("figure10", 24, (1.0, 3.0, 5.0), 2),
 )
+
+#: the verification workload: full searches on the figure10 query set
+VERIFY_WORKLOAD = ("figure10_verify", 24, (1.0, 3.0, 5.0), 2)
 
 
 def _clear_caches(environment) -> None:
@@ -71,6 +79,83 @@ def _run_filters(environment, queries, sigmas, rounds):
             for sigma in sigmas:
                 candidates.append(pis.candidates(query, sigma))
     return time.perf_counter() - start, candidates
+
+
+def _run_searches(environment, queries, sigmas, rounds):
+    """Run full PIS searches (filter + verify) over the workload.
+
+    Returns ``(verify_seconds, total_seconds, answers)`` where ``answers``
+    is a JSON-comparable payload of every search's answer ids and exact
+    distances, in execution order.
+    """
+    pis = PISearch(environment.index, environment.database)
+    answers = []
+    verify_seconds = 0.0
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for query in queries:
+            for sigma in sigmas:
+                result = pis.search(query, sigma)
+                verify_seconds += result.verify_seconds
+                answers.append(
+                    [
+                        result.answer_ids,
+                        {
+                            str(graph_id): result.answer_distances[graph_id]
+                            for graph_id in result.answer_ids
+                        },
+                    ]
+                )
+    return verify_seconds, time.perf_counter() - start, answers
+
+
+def run_verify_workload(environment, name, query_edges, sigmas, rounds):
+    """Measure the verification phase in legacy and optimized mode.
+
+    The speedup compares summed verify-phase seconds (``legacy`` = the
+    sequential pre-subsystem loop, ``optimized`` = the bounded verifier with
+    ordering, short-circuit, memoized distances, and early exit); the
+    answer ids and distances of every search must be byte-identical.
+    """
+    queries = environment.workload.sample_queries(
+        num_edges=query_edges, count=environment.config.queries_per_set
+    )
+
+    _clear_caches(environment)
+    with optimizations_disabled():
+        legacy_verify, legacy_total, legacy_answers = _run_searches(
+            environment, queries, sigmas, rounds
+        )
+
+    _clear_caches(environment)
+    before = GLOBAL_COUNTERS.snapshot()
+    optimized_verify, optimized_total, optimized_answers = _run_searches(
+        environment, queries, sigmas, rounds
+    )
+    counters = GLOBAL_COUNTERS.delta(before)
+
+    identical = legacy_answers == optimized_answers
+    blob = json.dumps(optimized_answers).encode("utf-8")
+    record = {
+        "query_edges": query_edges,
+        "num_queries": len(queries),
+        "sigmas": list(sigmas),
+        "rounds": rounds,
+        "legacy_verify_seconds": round(legacy_verify, 6),
+        "optimized_verify_seconds": round(optimized_verify, 6),
+        "legacy_total_seconds": round(legacy_total, 6),
+        "optimized_total_seconds": round(optimized_total, 6),
+        "speedup": round(legacy_verify / max(optimized_verify, 1e-9), 3),
+        "answers_identical": identical,
+        "answers_sha256": hashlib.sha256(blob).hexdigest(),
+        "counters": {key: round(value, 6) for key, value in sorted(counters.items())},
+    }
+    print(
+        f"{name}: legacy verify {legacy_verify:.3f}s, optimized verify "
+        f"{optimized_verify:.3f}s -> {record['speedup']:.2f}x speedup, "
+        f"identical={identical}"
+    )
+    return record
 
 
 def run_workload(environment, name, query_edges, sigmas, rounds):
@@ -120,13 +205,20 @@ def main(argv=None) -> int:
         "--output",
         type=Path,
         default=None,
-        help="benchmark JSON path (default: $PIS_BENCH_OUTPUT or BENCH_pr2.json)",
+        help="benchmark JSON path (default: $PIS_BENCH_OUTPUT or BENCH_pr3.json)",
     )
     parser.add_argument(
         "--min-speedup",
         type=float,
         default=1.5,
         help="required optimized/legacy speedup on the pruning-cost workload",
+    )
+    parser.add_argument(
+        "--min-verify-speedup",
+        type=float,
+        default=1.5,
+        help="required optimized/legacy verify-phase speedup on the "
+        "verification workload",
     )
     parser.add_argument(
         "--check-baseline",
@@ -165,6 +257,22 @@ def main(argv=None) -> int:
                 f"{name}: optimized candidate sets differ from the "
                 "pre-optimization filter"
             )
+
+    verify_name, verify_edges, verify_sigmas, verify_rounds = VERIFY_WORKLOAD
+    verify_record = run_verify_workload(
+        environment, verify_name, verify_edges, verify_sigmas, verify_rounds
+    )
+    gate["workloads"][verify_name] = verify_record
+    if not verify_record["answers_identical"]:
+        failures.append(
+            f"{verify_name}: optimized answer ids/distances differ from the "
+            "legacy verifier"
+        )
+    if verify_record["speedup"] < arguments.min_verify_speedup:
+        failures.append(
+            f"{verify_name}: verify-phase speedup {verify_record['speedup']:.2f}x "
+            f"is below the required {arguments.min_verify_speedup:.2f}x"
+        )
 
     pruning = gate["workloads"]["pruning_cost"]
     if pruning["speedup"] < arguments.min_speedup:

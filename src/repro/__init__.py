@@ -114,17 +114,23 @@ from .mining import (
     register_selector,
 )
 from .search import (
+    BoundedVerifier,
     ExactTopoPruneSearch,
+    LegacyVerifier,
     NaiveSearch,
     PISearch,
     SearchResult,
     TopoPruneSearch,
+    Verifier,
     available_strategies,
+    available_verifiers,
     enhanced_greedy_mwis,
     exact_mwis,
     greedy_mwis,
     make_strategy,
+    make_verifier,
     register_strategy,
+    register_verifier,
     select_partition,
 )
 
@@ -149,6 +155,9 @@ __all__ = [
     "register_strategy",
     "make_strategy",
     "available_strategies",
+    "register_verifier",
+    "make_verifier",
+    "available_verifiers",
     # core
     "LabeledGraph",
     "GraphDatabase",
@@ -198,6 +207,9 @@ __all__ = [
     "TopoPruneSearch",
     "ExactTopoPruneSearch",
     "SearchResult",
+    "Verifier",
+    "LegacyVerifier",
+    "BoundedVerifier",
     "greedy_mwis",
     "enhanced_greedy_mwis",
     "exact_mwis",

@@ -11,7 +11,9 @@ Subcommands
 ``query``
     Answer SSSD queries against a database + index (or saved engine),
     comparing PIS with the baselines; ``--workers`` batches the queries
-    over a thread pool.
+    over a worker pool, ``--verify-workers`` parallelizes candidate
+    verification within each query, and ``--verifier`` picks the
+    verification implementation (``auto``/``bounded``/``legacy``).
 ``stats``
     Print database / index statistics.
 ``experiments``
@@ -120,6 +122,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="thread",
         help="worker pool kind; 'process' sidesteps the GIL for CPU-bound "
         "verification at the cost of pickling the engine into each worker",
+    )
+    query.add_argument(
+        "--verify-workers",
+        type=int,
+        default=None,
+        help="thread-pool size for parallel candidate verification within "
+        "each query (default: the engine config's verify_workers); "
+        "GIL-bound for pure-Python verification — prefer --executor "
+        "process for wall-clock gains",
+    )
+    query.add_argument(
+        "--verifier",
+        default=None,
+        help="candidate verifier registry name (auto, bounded, legacy); "
+        "overrides the engine config",
     )
     query.add_argument(
         "--compare-naive",
@@ -232,6 +249,10 @@ def _command_query(arguments: argparse.Namespace) -> int:
         engine = Engine.from_index(
             database, index, config=_load_config(arguments.config)
         )
+    if arguments.verifier is not None:
+        # A saved engine carries a verifier choice; unlike --config, the
+        # verifier never changes answers, so overriding it is safe.
+        engine.config = engine.config.replace(verifier=arguments.verifier)
     workload = QueryWorkload(database, seed=arguments.seed)
     queries = workload.sample_queries(arguments.edges, arguments.count)
 
@@ -240,6 +261,7 @@ def _command_query(arguments: argparse.Namespace) -> int:
         arguments.sigma,
         workers=arguments.workers,
         executor=arguments.executor,
+        verify_workers=arguments.verify_workers,
     )
     topo = engine.make_strategy("topoPrune")
     naive = engine.make_strategy("naive") if arguments.compare_naive else None

@@ -31,6 +31,7 @@ A measure exposes three views used by different parts of the system:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
@@ -230,6 +231,25 @@ class DistanceMeasure:
             "include_vertices": self.include_vertices,
             "include_edges": self.include_edges,
         }
+
+    def cache_token(self) -> str:
+        """Stable identity token of the measure's semantics, for cache keys.
+
+        Two measures with the same :meth:`describe` output score every
+        superposition identically, so memoized distances keyed by this token
+        can safely be shared between measure instances (and never between
+        semantically different measures).
+
+        Examples
+        --------
+        >>> default_edge_mutation_distance().cache_token() == \\
+        ...     default_edge_mutation_distance().cache_token()
+        True
+        >>> MutationDistance().cache_token() == \\
+        ...     LinearMutationDistance().cache_token()
+        False
+        """
+        return json.dumps(self.describe(), sort_keys=True, default=repr)
 
 
 class MutationDistance(DistanceMeasure):

@@ -85,10 +85,10 @@ class LabeledGraph:
     --------
     >>> g = LabeledGraph(name="triangle")
     >>> for v in range(3):
-    ...     g.add_vertex(v, label="C")
-    >>> g.add_edge(0, 1, label="single")
-    >>> g.add_edge(1, 2, label="double")
-    >>> g.add_edge(0, 2, label="single")
+    ...     _ = g.add_vertex(v, label="C")
+    >>> _ = g.add_edge(0, 1, label="single")
+    >>> _ = g.add_edge(1, 2, label="double")
+    >>> _ = g.add_edge(0, 2, label="single")
     >>> g.num_vertices, g.num_edges
     (3, 3)
     >>> g.edge_label(2, 1)

@@ -57,11 +57,17 @@ class SuperpositionResult:
         needed).
     explored:
         Number of complete superpositions examined (diagnostics).
+    early_exit:
+        ``True`` when the search stopped before exhausting the branch-and-
+        bound tree — either because ``stop_at_threshold`` was requested, or
+        because a superposition matching ``known_lower_bound`` proved the
+        minimum had been reached.
     """
 
     distance: float
     embedding: Optional[Embedding]
     explored: int = 0
+    early_exit: bool = False
 
     @property
     def exists(self) -> bool:
@@ -75,6 +81,7 @@ def best_superposition(
     measure: DistanceMeasure,
     threshold: Optional[float] = None,
     stop_at_threshold: bool = False,
+    known_lower_bound: Optional[float] = None,
 ) -> SuperpositionResult:
     """Find the superposition of ``query`` in ``target`` with minimum cost.
 
@@ -91,7 +98,23 @@ def best_superposition(
     stop_at_threshold:
         If ``True`` the search returns as soon as *any* superposition with
         cost ``<= threshold`` is found (used by the boolean verification
-        :func:`within_distance`).
+        :func:`within_distance`).  The returned distance is then an upper
+        bound, not necessarily the minimum.
+    known_lower_bound:
+        A proven lower bound on the true distance (e.g. the partition-based
+        bound of Eq. 2 computed during filtering).  The search stops as soon
+        as a complete superposition with cost ``<= known_lower_bound`` is
+        found: since no superposition can cost less than the bound, that
+        superposition is provably minimal and the returned distance is still
+        exact.  Passing a value that is *not* a true lower bound can make
+        the result an upper bound instead of the minimum.
+
+    Returns
+    -------
+    SuperpositionResult
+        The minimum distance, a witnessing embedding, the number of
+        complete superpositions explored, and whether the search exited
+        early.
     """
     if query.num_vertices == 0:
         return SuperpositionResult(distance=0.0, embedding=Embedding({}), explored=1)
@@ -143,6 +166,10 @@ def best_superposition(
                 best_mapping = dict(mapping)
                 if stop_at_threshold and threshold is not None and cost <= threshold:
                     finished = True
+                # A complete superposition at (or below) a proven lower bound
+                # cannot be improved on: the minimum has been reached.
+                if known_lower_bound is not None and cost <= known_lower_bound:
+                    finished = True
             return
 
         qv = order[position]
@@ -191,7 +218,10 @@ def best_superposition(
             distance=INFINITE_DISTANCE, embedding=None, explored=explored
         )
     return SuperpositionResult(
-        distance=best_cost, embedding=Embedding(best_mapping), explored=explored
+        distance=best_cost,
+        embedding=Embedding(best_mapping),
+        explored=explored,
+        early_exit=finished,
     )
 
 

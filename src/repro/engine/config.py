@@ -48,6 +48,20 @@ class EngineConfig:
         When false, :meth:`repro.engine.Engine.search` stops after the
         filtering phase and reports an empty answer set — useful for
         pruning-power studies that must not pay for verification.
+    verifier:
+        Registry name of the candidate verifier
+        (:func:`repro.search.verify.make_verifier`): ``"auto"`` (the
+        default, resolving to the optimized ``"bounded"`` verifier),
+        ``"bounded"``, ``"legacy"``, or any name registered through
+        :func:`repro.search.verify.register_verifier`.
+    verify_workers:
+        Default thread-pool size for parallel candidate verification
+        (``0`` = serial).  Per-call overrides are available on
+        :meth:`repro.engine.Engine.search` and
+        :meth:`~repro.engine.Engine.search_many`.  Results are
+        byte-identical to serial; note that with pure-Python distance
+        computation the GIL limits actual speedup — for wall-clock gains
+        today prefer ``search_many(executor="process")``.
     """
 
     selector: str = "exhaustive"
@@ -58,8 +72,24 @@ class EngineConfig:
     strategy: str = "pis"
     strategy_params: Dict[str, Any] = field(default_factory=dict)
     verify: bool = True
+    verifier: str = "auto"
+    verify_workers: int = 0
 
     def __post_init__(self):
+        if not isinstance(self.verifier, str) or not self.verifier:
+            raise EngineConfigError(
+                f"verifier must be a non-empty string, got {self.verifier!r}"
+            )
+        if isinstance(self.verify_workers, bool) or not isinstance(
+            self.verify_workers, int
+        ):
+            raise EngineConfigError(
+                f"verify_workers must be an int, got {self.verify_workers!r}"
+            )
+        if self.verify_workers < 0:
+            raise EngineConfigError(
+                f"verify_workers must be >= 0, got {self.verify_workers}"
+            )
         for attribute in ("selector", "backend", "strategy"):
             value = getattr(self, attribute)
             if not isinstance(value, str) or not value:
@@ -114,6 +144,8 @@ class EngineConfig:
             "strategy": self.strategy,
             "strategy_params": copy.deepcopy(self.strategy_params),
             "verify": self.verify,
+            "verifier": self.verifier,
+            "verify_workers": self.verify_workers,
         }
 
     @classmethod

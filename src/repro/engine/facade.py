@@ -5,13 +5,15 @@ fragment index, partition-based search — and this module exposes it that
 way: :meth:`Engine.build` turns a database plus a declarative
 :class:`~repro.engine.config.EngineConfig` into a ready-to-query engine,
 :meth:`Engine.search` / :meth:`Engine.search_many` answer SSSD queries
-(optionally in a thread or process pool), and :meth:`Engine.save` /
+(optionally in a thread or process pool, with per-query parallel candidate
+verification via ``verify_workers``), and :meth:`Engine.save` /
 :meth:`Engine.load` round-trip the configuration and the built index
 together, so a reloaded engine answers every query identically.
 """
 
 from __future__ import annotations
 
+import inspect
 import json
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -28,7 +30,7 @@ from ..index.persistence import index_from_dict, index_to_dict, measure_to_dict
 from ..mining.registry import make_selector
 from ..perf import PerfCounters
 from ..core.canonical import structure_code_cache
-from ..search.registry import make_strategy
+from ..search.registry import make_strategy, strategy_class
 from ..search.results import PruningReport, SearchResult
 from ..search.strategy import SearchStrategy
 from .config import EngineConfig
@@ -134,10 +136,16 @@ def _database_fingerprint(database: GraphDatabase) -> Dict[str, int]:
 
 
 def _search_chunk(
-    engine: "Engine", queries: Sequence[LabeledGraph], sigma: float
+    engine: "Engine",
+    queries: Sequence[LabeledGraph],
+    sigma: float,
+    verify_workers: Optional[int] = None,
 ) -> List[SearchResult]:
     """Process-pool task: answer a slice of the batch on a pickled engine."""
-    return [engine.search(query, sigma) for query in queries]
+    return [
+        engine.search(query, sigma, verify_workers=verify_workers)
+        for query in queries
+    ]
 
 
 class Engine:
@@ -154,14 +162,30 @@ class Engine:
         config: EngineConfig,
         index: FragmentIndex,
     ):
-        if not isinstance(config, EngineConfig):
-            raise EngineConfigError(
-                f"config must be an EngineConfig, got {type(config).__name__}"
-            )
         self.database = database
-        self.config = config
         self.index = index
         self._strategy: Optional[SearchStrategy] = None
+        self.config = config  # property setter validates
+
+    @property
+    def config(self) -> EngineConfig:
+        """The engine's declarative configuration.
+
+        Assigning a new config (e.g. ``engine.config =
+        engine.config.replace(verifier="legacy")``) drops the cached
+        strategy, so the next query is answered under the new settings
+        regardless of whether the engine has been queried before.
+        """
+        return self._config
+
+    @config.setter
+    def config(self, value: EngineConfig) -> None:
+        if not isinstance(value, EngineConfig):
+            raise EngineConfigError(
+                f"config must be an EngineConfig, got {type(value).__name__}"
+            )
+        self._config = value
+        self._strategy = None
 
     # ------------------------------------------------------------------
     # construction
@@ -247,7 +271,26 @@ class Engine:
 
         Convenient for cross-checks: ``engine.make_strategy("naive")``
         returns the ground-truth scan over the same database and measure.
+        The config's ``verifier`` / ``verify_workers`` are applied unless
+        overridden in ``params``, so cross-check strategies verify with the
+        same subsystem (and share the index's distance cache) as the
+        configured one.  Third-party strategies whose constructors keep the
+        plain ``(database, measure, index=None)`` registry contract are
+        left alone — the defaults are only injected into strategies that
+        accept them (explicit ``params`` still fail loudly if unsupported).
         """
+        signature = inspect.signature(strategy_class(name).__init__)
+        parameters = signature.parameters.values()
+        takes_kwargs = any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters
+        )
+        for key, value in (
+            ("verifier", self.config.verifier),
+            ("verify_workers", self.config.verify_workers),
+        ):
+            if takes_kwargs or key in signature.parameters:
+                params.setdefault(key, value)
         return make_strategy(
             name, self.database, measure=self.measure, index=self.index, **params
         )
@@ -285,11 +328,33 @@ class Engine:
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
-    def search(self, query: LabeledGraph, sigma: float) -> SearchResult:
-        """Answer one SSSD query with the configured strategy."""
+    def search(
+        self,
+        query: LabeledGraph,
+        sigma: float,
+        verify_workers: Optional[int] = None,
+    ) -> SearchResult:
+        """Answer one SSSD query with the configured strategy.
+
+        Parameters
+        ----------
+        query:
+            The query graph.
+        sigma:
+            Distance threshold of the SSSD query.
+        verify_workers:
+            Worker-pool size for parallel candidate verification of this
+            query (``None`` = the config's ``verify_workers`` default).
+
+        Returns
+        -------
+        SearchResult
+            Candidates, answers with exact distances, per-phase timings,
+            pruning report, and counter deltas.
+        """
         strategy = self.strategy
         if self.config.verify:
-            return strategy.search(query, sigma)
+            return strategy.search(query, sigma, verify_workers=verify_workers)
         # Filter-only mode: report candidates without paying for
         # verification (the answer set is left empty on purpose).
         before = strategy.counters.snapshot()
@@ -323,6 +388,7 @@ class Engine:
         sigma: float,
         workers: Optional[int] = None,
         executor: str = "thread",
+        verify_workers: Optional[int] = None,
     ) -> BatchSearchResult:
         """Answer a batch of queries, optionally in a worker pool.
 
@@ -339,6 +405,16 @@ class Engine:
             ``"thread"`` (default) shares the engine across a thread pool;
             ``"process"`` pickles the engine into worker processes (worth
             it only when verification dominates and queries are heavy).
+        verify_workers:
+            Worker-pool size for parallel candidate verification *within*
+            each query (``None`` = the config default).  Composes with
+            ``workers``: batch-level parallelism spreads queries, verify
+            workers spread the candidates of one query.
+
+        Returns
+        -------
+        BatchSearchResult
+            Per-query results in input order plus batch-level timing.
         """
         queries = list(queries)
         if executor not in ("thread", "process"):
@@ -348,7 +424,10 @@ class Engine:
         pool_size = int(workers or 0)
         start = time.perf_counter()
         if pool_size <= 1 or len(queries) <= 1:
-            results = [self.search(query, sigma) for query in queries]
+            results = [
+                self.search(query, sigma, verify_workers=verify_workers)
+                for query in queries
+            ]
             return BatchSearchResult(
                 sigma=sigma,
                 results=results,
@@ -359,7 +438,12 @@ class Engine:
         if executor == "thread":
             with ThreadPoolExecutor(max_workers=pool_size) as pool:
                 results = list(
-                    pool.map(lambda query: self.search(query, sigma), queries)
+                    pool.map(
+                        lambda query: self.search(
+                            query, sigma, verify_workers=verify_workers
+                        ),
+                        queries,
+                    )
                 )
         else:
             # One contiguous chunk per worker keeps engine pickling cost at
@@ -376,6 +460,7 @@ class Engine:
                         [self] * len(chunks),
                         chunks,
                         [sigma] * len(chunks),
+                        [verify_workers] * len(chunks),
                     )
                 )
             results = [result for chunk in chunk_results for result in chunk]

@@ -24,7 +24,9 @@ Performance machinery (all honouring the global optimization flags in
 * every index owns a :class:`~repro.perf.PerfCounters` instance shared with
   the strategies built over it;
 * query-fragment enumeration and per-fragment range queries are memoized in
-  bounded LRU caches (invalidated whenever the index mutates);
+  bounded LRU caches (invalidated whenever the index mutates), and exact
+  verification distances are memoized in a cache shared with the
+  verifiers of :mod:`repro.search.verify`;
 * :meth:`build` can fan fragment enumeration out over worker processes
   (``workers=N``), producing an index byte-identical to the serial build.
 """
@@ -183,6 +185,13 @@ class FragmentIndex:
         self._range_cache = MemoCache(
             "range_query", maxsize=16384, counters=self.counters
         )
+        # Exact verification distances keyed by (measure+query content,
+        # graph id).  True distances do not depend on what is indexed, so
+        # index mutation does not invalidate this cache; it is shared with
+        # every verifier built over this index (repro.search.verify).
+        self._distance_cache = MemoCache(
+            "verify_distance", maxsize=65536, counters=self.counters
+        )
         for feature in features:
             self.add_feature(feature)
 
@@ -194,12 +203,28 @@ class FragmentIndex:
         self._range_cache.clear()
 
     def clear_caches(self) -> None:
-        """Drop the query-fragment and range-query memo caches."""
+        """Drop all index-owned memo caches (fragments, ranges, distances)."""
         self._invalidate_caches()
+        self._distance_cache.clear()
 
     def cache_stats(self) -> List[Dict[str, Any]]:
         """Accounting of the index-owned memo caches (JSON-friendly)."""
-        return [self._fragment_cache.stats(), self._range_cache.stats()]
+        return [
+            self._fragment_cache.stats(),
+            self._range_cache.stats(),
+            self._distance_cache.stats(),
+        ]
+
+    @property
+    def distance_cache(self) -> MemoCache:
+        """Exact-distance memo cache shared with the verification subsystem.
+
+        :class:`repro.search.verify.BoundedVerifier` memoizes per-(query
+        content, graph id) exact superimposed distances here, so batched
+        searches and repeated sigma sweeps over one index reuse each other's
+        verification work.
+        """
+        return self._distance_cache
 
     def add_feature(self, feature: LabeledGraph) -> CanonicalCode:
         """Register a feature structure; returns its canonical code."""

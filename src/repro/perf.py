@@ -22,9 +22,10 @@ Three facilities live here:
 Optimization flags
     :func:`optimizations_enabled` / :func:`optimizations_disabled` gate the
     optimized code paths (caches, bitset candidate sets, vectorized range
-    scans, parallel builds).  The benchmark gate runs every workload twice —
-    once optimized, once inside ``optimizations_disabled()`` — and asserts
-    that both paths return byte-identical candidate sets.
+    scans, parallel builds, and the bounded verifier).  The benchmark gate
+    runs every workload twice — once optimized, once inside
+    ``optimizations_disabled()`` — and asserts that both paths return
+    byte-identical candidate and answer sets.
 """
 
 from __future__ import annotations
@@ -172,7 +173,7 @@ GLOBAL_COUNTERS = PerfCounters()
 # optimization switches
 # ----------------------------------------------------------------------
 #: the independently switchable optimized code paths
-OPTIMIZATION_KINDS = ("caches", "bitsets", "vectorized", "parallel")
+OPTIMIZATION_KINDS = ("caches", "bitsets", "vectorized", "parallel", "verify")
 
 _FLAGS: Dict[str, bool] = {kind: True for kind in OPTIMIZATION_KINDS}
 _FLAGS_LOCK = threading.Lock()

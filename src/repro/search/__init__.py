@@ -1,4 +1,5 @@
-"""Partition-based search: selectivity, MWIS partition, PIS, baselines."""
+"""Partition-based search: selectivity, MWIS partition, PIS, baselines,
+and the candidate-verification subsystem (:mod:`repro.search.verify`)."""
 
 from .baselines import ExactTopoPruneSearch, NaiveSearch, TopoPruneSearch
 from .mwis import (
@@ -15,6 +16,14 @@ from .registry import available_strategies, make_strategy, register_strategy
 from .results import PruningReport, SearchResult
 from .selectivity import FragmentSelectivity, SelectivityEstimator
 from .strategy import SearchStrategy
+from .verify import (
+    BoundedVerifier,
+    LegacyVerifier,
+    Verifier,
+    available_verifiers,
+    make_verifier,
+    register_verifier,
+)
 
 __all__ = [
     "SearchStrategy",
@@ -39,4 +48,10 @@ __all__ = [
     "register_strategy",
     "make_strategy",
     "available_strategies",
+    "Verifier",
+    "LegacyVerifier",
+    "BoundedVerifier",
+    "register_verifier",
+    "make_verifier",
+    "available_verifiers",
 ]

@@ -30,6 +30,7 @@ from .. import perf
 from ..index.bitset import ids_from_bits
 from ..index.fragment_index import FragmentIndex
 from .strategy import SearchStrategy
+from .verify import AUTO_VERIFIER
 
 __all__ = ["NaiveSearch", "TopoPruneSearch", "ExactTopoPruneSearch"]
 
@@ -40,6 +41,7 @@ class NaiveSearch(SearchStrategy):
     name = "naive"
 
     def candidates(self, query: LabeledGraph, sigma: float) -> List[int]:
+        """Return every graph id: the naive scan never filters."""
         return list(self.database.graph_ids())
 
 
@@ -59,6 +61,8 @@ class TopoPruneSearch(SearchStrategy):
         database: GraphDatabase,
         measure: Optional[DistanceMeasure] = None,
         index: Optional[FragmentIndex] = None,
+        verifier: str = AUTO_VERIFIER,
+        verify_workers: int = 0,
     ):
         if isinstance(database, FragmentIndex):
             # Legacy calling convention: TopoPruneSearch(index, database).
@@ -68,9 +72,20 @@ class TopoPruneSearch(SearchStrategy):
             raise IndexNotBuiltError(
                 "TopoPruneSearch requires a built fragment index"
             )
-        super().__init__(database=database, measure=index.measure, index=index)
+        super().__init__(
+            database=database,
+            measure=index.measure,
+            index=index,
+            verifier=verifier,
+            verify_workers=verify_workers,
+        )
 
     def candidates(self, query: LabeledGraph, sigma: float) -> List[int]:
+        """Graphs containing every indexed structure of the query.
+
+        ``sigma`` is accepted for interface uniformity but ignored:
+        structure containment does not depend on the distance threshold.
+        """
         num_graphs = max(self.index.num_graphs, len(self.database))
         fragments = self.index.enumerate_query_fragments(query)
         use_bits = (
@@ -113,6 +128,7 @@ class ExactTopoPruneSearch(SearchStrategy):
     name = "exact-topoPrune"
 
     def candidates(self, query: LabeledGraph, sigma: float) -> List[int]:
+        """Graphs whose skeleton embeds the query skeleton (sigma ignored)."""
         skeleton = query.skeleton()
         matched: List[int] = []
         for graph_id, graph in self.database.items():

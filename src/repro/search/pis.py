@@ -12,7 +12,9 @@
    threshold (the lower bound of Eq. 2).
 3. **Candidate verification** — compute the true minimum superimposed
    distance of the surviving candidates and keep those within the
-   threshold.
+   threshold.  Delegated to the pluggable verifiers of
+   :mod:`repro.search.verify`, which reuse the lower bounds this module's
+   filtering phase computes (:attr:`FilterOutcome.lower_bounds`).
 
 The filtering phase touches only the index (never the database graphs);
 verification is the only step that needs the graphs themselves, exactly as
@@ -21,9 +23,8 @@ in the paper's implementation notes (Section 6).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.database import GraphDatabase
 from ..core.errors import IndexNotBuiltError
@@ -32,9 +33,10 @@ from .. import perf
 from ..index.bitset import ids_from_bits
 from ..index.fragment_index import FragmentIndex, QueryFragment
 from .partition import PartitionResult, select_partition
-from .results import PruningReport, SearchResult
+from .results import PruningReport
 from .selectivity import SelectivityEstimator
 from .strategy import SearchStrategy
+from .verify import AUTO_VERIFIER
 
 __all__ = ["PISearch", "FilterOutcome"]
 
@@ -79,6 +81,12 @@ class PISearch(SearchStrategy):
     partition_method / partition_k:
         MWIS solver used for the partition ("greedy", "enhanced-greedy",
         "exact") and its ``k`` parameter.
+    verifier:
+        Registry name of the candidate verifier (``"auto"`` resolves to the
+        optimized bounded verifier; see :mod:`repro.search.verify`).
+    verify_workers:
+        Default thread-pool size for parallel candidate verification
+        (``0`` = serial).
     """
 
     name = "pis"
@@ -93,6 +101,8 @@ class PISearch(SearchStrategy):
         cutoff_lambda: float = 1.0,
         partition_method: str = "greedy",
         partition_k: int = 2,
+        verifier: str = AUTO_VERIFIER,
+        verify_workers: int = 0,
     ):
         if isinstance(database, FragmentIndex):
             # Legacy calling convention: PISearch(index, database).  A third
@@ -109,7 +119,13 @@ class PISearch(SearchStrategy):
             measure = None
         if index is None:
             raise IndexNotBuiltError("PISearch requires a built fragment index")
-        super().__init__(database=database, measure=index.measure, index=index)
+        super().__init__(
+            database=database,
+            measure=index.measure,
+            index=index,
+            verifier=verifier,
+            verify_workers=verify_workers,
+        )
         self.epsilon = epsilon
         self.cutoff_lambda = cutoff_lambda
         self.partition_method = partition_method
@@ -251,25 +267,15 @@ class PISearch(SearchStrategy):
         """Return the candidate graph ids (filtering phase only)."""
         return self.filter_candidates(query, sigma).candidate_ids
 
-    def search(self, query: LabeledGraph, sigma: float) -> SearchResult:
-        """Answer one SSSD query: filter, then verify the candidates."""
-        before = self.counters.snapshot()
-        start = time.perf_counter()
+    def _filter(
+        self, query: LabeledGraph, sigma: float
+    ) -> Tuple[List[int], PruningReport, Optional[Dict[int, float]]]:
+        """Filtering hook of the shared :meth:`SearchStrategy.search` template.
+
+        Exposes the full :class:`FilterOutcome` to the template: the pruning
+        report and — crucially — the per-candidate Eq. 2 lower bounds, which
+        the bounded verifier uses to order, short-circuit, and early-exit
+        verification.
+        """
         outcome = self.filter_candidates(query, sigma)
-        prune_seconds = time.perf_counter() - start
-
-        start = time.perf_counter()
-        answers, distances = self.verify(query, sigma, outcome.candidate_ids)
-        verify_seconds = time.perf_counter() - start
-
-        return SearchResult(
-            sigma=sigma,
-            candidate_ids=outcome.candidate_ids,
-            answer_ids=answers,
-            answer_distances=distances,
-            prune_seconds=prune_seconds,
-            verify_seconds=verify_seconds,
-            report=outcome.report,
-            method=self.name,
-            counters=self.counters.delta(before),
-        )
+        return outcome.candidate_ids, outcome.report, outcome.lower_bounds

@@ -5,7 +5,9 @@ Mirrors the backend registry in :mod:`repro.index.backends`: every
 ``name`` attribute and is instantiable through :func:`make_strategy` with
 the uniform ``(database, measure, index=None)`` shape.  This is what lets
 :class:`repro.engine.Engine` pick its strategy from a declarative config,
-and lets callers swap PIS for a baseline with a single string.
+and lets callers swap PIS for a baseline with a single string.  The
+candidate verifiers of :mod:`repro.search.verify` have their own registry
+of the same shape (:func:`repro.search.verify.make_verifier`).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ __all__ = [
     "register_strategy",
     "make_strategy",
     "available_strategies",
+    "strategy_class",
 ]
 
 _STRATEGIES: Dict[str, type] = {}
@@ -33,6 +36,20 @@ def register_strategy(cls: type) -> type:
     """Register a strategy class under its ``name`` attribute."""
     _STRATEGIES[cls.name] = cls
     return cls
+
+
+def strategy_class(name: str) -> type:
+    """Return the registered strategy class for ``name`` (without building it).
+
+    Lets callers inspect a strategy's constructor — e.g.
+    :meth:`repro.engine.Engine.make_strategy` only injects its
+    ``verifier``/``verify_workers`` defaults into strategies that accept
+    them, so third-party strategies keeping the plain
+    ``(database, measure, index=None)`` contract stay constructible.
+    """
+    if name not in _STRATEGIES:
+        raise UnknownComponentError("search strategy", name, _STRATEGIES)
+    return _STRATEGIES[name]
 
 
 def available_strategies() -> List[str]:

@@ -79,6 +79,19 @@ class SearchResult:
         strategies that share a :class:`~repro.perf.PerfCounters` sink.
         Deltas from concurrently executing queries may interleave when a
         batch runs in a thread pool.
+
+        The verification subsystem (:mod:`repro.search.verify`) reports
+        under the ``verify.*`` prefix: ``verify.candidates`` (ids passed to
+        the verifier), ``verify.superpositions_explored`` (complete
+        superpositions examined), ``verify.lower_bound_skips`` (candidates
+        rejected by the filtering lower bound without a distance
+        computation — zero in the standard PIS pipeline, whose filtering
+        already drops bound-exceeding candidates), ``verify.early_exits`` (branch-and-bound searches
+        stopped by a bound-matching superposition),
+        ``verify.cache_refreshes`` (memoized "> threshold" entries
+        recomputed at a larger sigma), ``verify.parallel_batches`` (thread-
+        pooled verification rounds), and the memo-cache accounting under
+        ``verify_distance.cache_hits`` / ``verify_distance.cache_misses``.
     """
 
     sigma: float

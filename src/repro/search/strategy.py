@@ -3,15 +3,16 @@
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.database import GraphDatabase
 from ..core.distance import DistanceMeasure
 from ..core.errors import EngineConfigError
 from ..core.graph import LabeledGraph
-from ..core.superimposed import best_superposition
-from ..perf import GLOBAL_COUNTERS, PerfCounters
-from .results import SearchResult
+from .. import perf
+from ..perf import GLOBAL_COUNTERS, MemoCache, PerfCounters
+from .results import PruningReport, SearchResult
+from .verify import AUTO_VERIFIER, Verifier, make_verifier, resolve_verifier_name
 
 __all__ = ["SearchStrategy"]
 
@@ -19,13 +20,36 @@ __all__ = ["SearchStrategy"]
 class SearchStrategy:
     """Base class: filter candidates, then verify them against the database.
 
-    Subclasses implement :meth:`candidates`; verification is shared so that
-    every strategy returns byte-for-byte comparable answer sets.
+    :meth:`search` is a template method shared by every strategy — PIS and
+    the baselines alike — so all of them time and report the two phases
+    identically.  Subclasses implement :meth:`candidates` (the filtering
+    phase); strategies with a richer filtering phase (PIS) override
+    :meth:`_filter` to also supply a pruning report and per-candidate lower
+    bounds.  Verification itself is delegated to a pluggable
+    :class:`~repro.search.verify.Verifier` so every strategy returns
+    byte-for-byte comparable answer sets.
 
     Every strategy is instantiable with the same ``(database, measure,
     index=None)`` shape, so the registry in :mod:`repro.search.registry` can
     construct any of them uniformly.  Strategies that need a fragment index
     set :attr:`requires_index` and take their measure from the index.
+
+    Parameters
+    ----------
+    database:
+        The graph database to answer queries over.
+    measure:
+        Distance measure; may be omitted when ``index`` carries one.
+    index:
+        Optional built :class:`~repro.index.FragmentIndex`; required by
+        strategies whose :attr:`requires_index` is true.
+    verifier:
+        Registry name of the candidate verifier (``"auto"``, ``"bounded"``,
+        ``"legacy"``, or any :func:`repro.search.register_verifier` name).
+        ``"auto"`` resolves to the optimized default.
+    verify_workers:
+        Default thread-pool size for parallel candidate verification
+        (``0`` = serial); :meth:`search` accepts a per-call override.
     """
 
     #: strategy identifier used in reports and registry lookups
@@ -37,8 +61,10 @@ class SearchStrategy:
     def __init__(
         self,
         database: GraphDatabase,
-        measure: DistanceMeasure = None,
+        measure: Optional[DistanceMeasure] = None,
         index=None,
+        verifier: str = AUTO_VERIFIER,
+        verify_workers: int = 0,
     ):
         if measure is None and index is not None:
             measure = index.measure
@@ -49,6 +75,8 @@ class SearchStrategy:
         self.database = database
         self.measure = measure
         self.index = index
+        self.verifier_name = verifier
+        self.verify_workers = int(verify_workers or 0)
         # Index-backed strategies share the index's counter sink so that
         # filtering and verification report into one place; index-free
         # baselines own a private sink.
@@ -58,52 +86,157 @@ class SearchStrategy:
             if isinstance(index_counters, PerfCounters)
             else PerfCounters(mirror=GLOBAL_COUNTERS)
         )
+        self._verifiers: Dict[str, Verifier] = {}
 
+    # ------------------------------------------------------------------
+    # filtering
+    # ------------------------------------------------------------------
     def candidates(self, query: LabeledGraph, sigma: float) -> List[int]:
         """Return the candidate graph ids for one query (filtering phase)."""
         raise NotImplementedError
 
-    def verify(
-        self, query: LabeledGraph, sigma: float, candidate_ids: List[int]
-    ) -> Tuple[List[int], Dict[int, float]]:
-        """Verify candidates: keep graphs whose true distance is within sigma."""
-        answers: List[int] = []
-        distances: Dict[int, float] = {}
-        explored = 0
-        with self.counters.timer("verify"):
-            for graph_id in candidate_ids:
-                result = best_superposition(
-                    query, self.database[graph_id], self.measure, threshold=sigma
-                )
-                explored += result.explored
-                if result.distance <= sigma:
-                    answers.append(graph_id)
-                    distances[graph_id] = result.distance
-        self.counters.increment("verify.candidates", len(candidate_ids))
-        self.counters.increment("verify.superpositions_explored", explored)
-        return answers, distances
+    def _filter(
+        self, query: LabeledGraph, sigma: float
+    ) -> Tuple[List[int], PruningReport, Optional[Dict[int, float]]]:
+        """Filtering hook of the :meth:`search` template.
 
-    def search(self, query: LabeledGraph, sigma: float) -> SearchResult:
-        """Run filtering + verification and time the two phases."""
+        Returns ``(candidate_ids, report, lower_bounds)``.  The base
+        implementation wraps :meth:`candidates` and reports no lower bounds;
+        PIS overrides it to expose its pruning report and the Eq. 2 bounds
+        its filtering phase computes anyway.
+        """
+        candidate_ids = self.candidates(query, sigma)
+        return candidate_ids, PruningReport(), None
+
+    def _database_size(self) -> int:
+        """Database size reported per query (index-aware, like PIS)."""
+        if self.index is not None:
+            return max(self.index.num_graphs, len(self.database))
+        return len(self.database)
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def _distance_cache(self) -> Optional[MemoCache]:
+        """The exact-distance memo cache shared through the index, if any.
+
+        Index-free strategies return ``None`` and the bounded verifier owns
+        a private cache instead.
+        """
+        cache = getattr(self.index, "distance_cache", None)
+        return cache if isinstance(cache, MemoCache) else None
+
+    def get_verifier(self, name: Optional[str] = None) -> Verifier:
+        """Return (building on first use) the verifier registered as ``name``.
+
+        ``None`` uses the strategy's configured :attr:`verifier_name`.
+        Verifiers share the strategy's counter sink and the index's distance
+        cache, so their work shows up in the same profile as filtering.
+        """
+        resolved = resolve_verifier_name(name or self.verifier_name)
+        if resolved not in self._verifiers:
+            self._verifiers[resolved] = make_verifier(
+                resolved,
+                self.database,
+                self.measure,
+                counters=self.counters,
+                distance_cache=self._distance_cache(),
+                workers=self.verify_workers,
+            )
+        return self._verifiers[resolved]
+
+    def verify(
+        self,
+        query: LabeledGraph,
+        sigma: float,
+        candidate_ids: Sequence[int],
+        lower_bounds: Optional[Mapping[int, float]] = None,
+        workers: Optional[int] = None,
+    ) -> Tuple[List[int], Dict[int, float]]:
+        """Verify candidates: keep graphs whose true distance is within sigma.
+
+        Delegates to the configured :class:`~repro.search.verify.Verifier`.
+        When the global ``"verify"`` optimization flag is off
+        (:func:`repro.perf.optimizations_disabled`), the legacy sequential
+        loop is used instead regardless of configuration — the benchmark
+        gate relies on this to measure the pre-subsystem verifier.
+
+        Parameters
+        ----------
+        query, sigma, candidate_ids:
+            The query, threshold, and filtered candidate ids.
+        lower_bounds:
+            Optional proven per-candidate lower bounds from filtering.
+        workers:
+            Per-call worker-pool override (``None`` = strategy default).
+
+        Returns
+        -------
+        tuple
+            ``(answer_ids, answer_distances)`` in candidate order.
+        """
+        if perf.optimizations_enabled("verify"):
+            chosen = self.get_verifier()
+        else:
+            chosen = self.get_verifier("legacy")
+        return chosen.verify(
+            query, sigma, candidate_ids, lower_bounds=lower_bounds, workers=workers
+        )
+
+    # ------------------------------------------------------------------
+    # the search template
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: LabeledGraph,
+        sigma: float,
+        verify_workers: Optional[int] = None,
+    ) -> SearchResult:
+        """Run filtering + verification and time the two phases.
+
+        Parameters
+        ----------
+        query:
+            The query graph.
+        sigma:
+            Distance threshold of the SSSD query.
+        verify_workers:
+            Worker-pool size for parallel verification of this one query
+            (``None`` = the strategy's configured default).
+
+        Returns
+        -------
+        SearchResult
+            Candidates, answers with exact distances, per-phase timings,
+            the pruning report, and per-query counter deltas.
+        """
         before = self.counters.snapshot()
         start = time.perf_counter()
-        candidate_ids = self.candidates(query, sigma)
+        candidate_ids, report, lower_bounds = self._filter(query, sigma)
         prune_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        answers, distances = self.verify(query, sigma, candidate_ids)
+        answers, distances = self.verify(
+            query,
+            sigma,
+            candidate_ids,
+            lower_bounds=lower_bounds,
+            workers=verify_workers,
+        )
         verify_seconds = time.perf_counter() - start
 
-        result = SearchResult(
+        # Both report fields are (re)stated here so every strategy — base
+        # template or PIS override — populates them identically.
+        report.num_database_graphs = self._database_size()
+        report.num_candidates = len(candidate_ids)
+        return SearchResult(
             sigma=sigma,
             candidate_ids=list(candidate_ids),
             answer_ids=answers,
             answer_distances=distances,
             prune_seconds=prune_seconds,
             verify_seconds=verify_seconds,
+            report=report,
             method=self.name,
             counters=self.counters.delta(before),
         )
-        result.report.num_database_graphs = len(self.database)
-        result.report.num_candidates = len(candidate_ids)
-        return result
