@@ -7,7 +7,7 @@ suite's own ``conftest`` when both directories are collected together.
 Besides the shared figure configurations this module owns the
 machine-readable benchmark output: every benchmark run (the pytest figure
 suite and the ``perf_gate.py`` speedup gate) records into one JSON document
-— ``BENCH_pr3.json`` by default — which CI uploads as an artifact and
+— ``BENCH_pr4.json`` by default — which CI uploads as an artifact and
 checks against ``benchmarks/BENCH_baseline.json``.
 
 Environment knobs:
@@ -16,7 +16,7 @@ Environment knobs:
     Use reduced configurations sized for CI (smaller database, fewer
     queries) instead of the figure-faithful defaults.
 ``PIS_BENCH_OUTPUT=path``
-    Where to write the benchmark JSON (default ``BENCH_pr3.json`` in the
+    Where to write the benchmark JSON (default ``BENCH_pr4.json`` in the
     current working directory).
 """
 
@@ -92,7 +92,7 @@ def emit(table):
 
 
 # ----------------------------------------------------------------------
-# machine-readable benchmark results (BENCH_pr3.json)
+# machine-readable benchmark results (BENCH_pr4.json)
 # ----------------------------------------------------------------------
 #: per-benchmark records accumulated during this process
 _RESULTS: Dict[str, Dict[str, Any]] = {}
@@ -100,7 +100,7 @@ _RESULTS: Dict[str, Dict[str, Any]] = {}
 
 def bench_output_path() -> Path:
     """Path of the benchmark JSON document."""
-    return Path(os.environ.get("PIS_BENCH_OUTPUT", "BENCH_pr3.json"))
+    return Path(os.environ.get("PIS_BENCH_OUTPUT", "BENCH_pr4.json"))
 
 
 def record_benchmark(

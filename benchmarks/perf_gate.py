@@ -13,15 +13,22 @@ filter *and* verify), twice each:
   range-query / exact-distance caches, big-int bitset intersection,
   vectorized scans, and the bounded verifier of ``repro.search.verify``).
 
+It additionally runs an **incremental-update workload**: a churn batch of
+adds + removes applied through ``FragmentIndex.add_graph`` /
+``remove_graph`` versus a from-scratch rebuild over the same final
+database, with byte-identical search answers required from both indexes.
+
 It asserts the two paths return **identical candidate sets** (filter
-workloads) and **identical answer ids and distances** (verify workload),
-records the speedups plus counter deltas into the ``gate`` section of
-``BENCH_pr3.json``, and exits non-zero when
+workloads) and **identical answer ids and distances** (verify and update
+workloads), records the speedups plus counter deltas into the ``gate``
+section of ``BENCH_pr4.json``, and exits non-zero when
 
 * candidate sets or answer sets differ between the paths,
 * the pruning-cost speedup is below ``--min-speedup`` (default 1.5×),
 * the verify-phase speedup is below ``--min-verify-speedup`` (default
-  1.5×), or
+  1.5×),
+* the incremental-update speedup over a rebuild is below
+  ``--min-update-speedup`` (default 2×), or
 * any workload regresses more than ``--tolerance`` (default 20%) against
   the checked-in baseline (``--check-baseline benchmarks/BENCH_baseline.json``).
 
@@ -32,6 +39,7 @@ Usage::
 """
 
 import argparse
+import copy
 import hashlib
 import json
 import sys
@@ -46,7 +54,9 @@ if str(_REPO_ROOT / "benchmarks") not in sys.path:
     sys.path.insert(0, str(_REPO_ROOT / "benchmarks"))
 
 from repro.core.canonical import structure_code_cache  # noqa: E402
+from repro.datasets.generator import generate_chemical_database  # noqa: E402
 from repro.experiments import build_environment  # noqa: E402
+from repro.index.fragment_index import FragmentIndex  # noqa: E402
 from repro.perf import GLOBAL_COUNTERS, optimizations_disabled  # noqa: E402
 from repro.search.pis import PISearch  # noqa: E402
 
@@ -62,6 +72,9 @@ WORKLOADS = (
 
 #: the verification workload: full searches on the figure10 query set
 VERIFY_WORKLOAD = ("figure10_verify", 24, (1.0, 3.0, 5.0), 2)
+
+#: the incremental-update workload: (name, churn fraction, query edges, sigmas)
+UPDATE_WORKLOAD = ("incremental_update", 0.1, 16, (1.0, 2.0))
 
 
 def _clear_caches(environment) -> None:
@@ -158,6 +171,86 @@ def run_verify_workload(environment, name, query_edges, sigmas, rounds):
     return record
 
 
+def run_update_workload(environment, name, churn, query_edges, sigmas):
+    """Measure a batch of adds+removes applied incrementally vs a rebuild.
+
+    A churn batch (``churn`` of the database removed, the same number of
+    fresh graphs added) is applied two ways to copies of the environment's
+    database and index:
+
+    * **incremental** — ``remove_graph`` / ``add_graph`` on the live index
+      (the update subsystem this gate protects), and
+    * **rebuild** — a from-scratch ``FragmentIndex.build`` over the final
+      database, which is what serving the same churn used to cost.
+
+    The speedup is ``rebuild_seconds / incremental_seconds``; the two
+    indexes must answer a probe query set with byte-identical answer ids
+    and exact distances.
+    """
+    database = copy.deepcopy(environment.database)
+    index = copy.deepcopy(environment.index)
+    batch = max(2, int(len(database) * churn))
+    victims = list(database.graph_ids())[::2][:batch]
+    newcomers = list(generate_chemical_database(batch, seed=4242))
+
+    start = time.perf_counter()
+    for graph_id in victims:
+        database.remove(graph_id)
+        index.remove_graph(graph_id)
+    for graph in newcomers:
+        index.add_graph(database.add(graph), graph)
+    incremental_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    rebuilt = FragmentIndex(
+        environment.features,
+        environment.measure,
+        backend=environment.index.backend_name,
+        backend_options=environment.index.backend_options,
+    ).build(database)
+    rebuild_seconds = time.perf_counter() - start
+
+    queries = environment.workload.sample_queries(
+        num_edges=query_edges, count=min(2, environment.config.queries_per_set)
+    )
+    payloads = []
+    for active in (index, rebuilt):
+        active.clear_caches()
+        pis = PISearch(database, index=active)
+        payload = []
+        for query in queries:
+            for sigma in sigmas:
+                result = pis.search(query, sigma)
+                payload.append(
+                    [
+                        result.answer_ids,
+                        {
+                            str(graph_id): result.answer_distances[graph_id]
+                            for graph_id in result.answer_ids
+                        },
+                    ]
+                )
+        payloads.append(payload)
+    identical = payloads[0] == payloads[1]
+    blob = json.dumps(payloads[0]).encode("utf-8")
+    record = {
+        "database_size": len(database),
+        "batch_adds": len(newcomers),
+        "batch_removes": len(victims),
+        "incremental_seconds": round(incremental_seconds, 6),
+        "rebuild_seconds": round(rebuild_seconds, 6),
+        "speedup": round(rebuild_seconds / max(incremental_seconds, 1e-9), 3),
+        "answers_identical": identical,
+        "answers_sha256": hashlib.sha256(blob).hexdigest(),
+    }
+    print(
+        f"{name}: rebuild {rebuild_seconds:.3f}s, incremental "
+        f"{incremental_seconds:.3f}s -> {record['speedup']:.2f}x speedup, "
+        f"identical={identical}"
+    )
+    return record
+
+
 def run_workload(environment, name, query_edges, sigmas, rounds):
     """Measure one workload in legacy and optimized mode; return its record."""
     queries = environment.workload.sample_queries(
@@ -205,7 +298,7 @@ def main(argv=None) -> int:
         "--output",
         type=Path,
         default=None,
-        help="benchmark JSON path (default: $PIS_BENCH_OUTPUT or BENCH_pr3.json)",
+        help="benchmark JSON path (default: $PIS_BENCH_OUTPUT or BENCH_pr4.json)",
     )
     parser.add_argument(
         "--min-speedup",
@@ -219,6 +312,13 @@ def main(argv=None) -> int:
         default=1.5,
         help="required optimized/legacy verify-phase speedup on the "
         "verification workload",
+    )
+    parser.add_argument(
+        "--min-update-speedup",
+        type=float,
+        default=2.0,
+        help="required incremental-vs-rebuild speedup on the "
+        "incremental_update workload",
     )
     parser.add_argument(
         "--check-baseline",
@@ -272,6 +372,23 @@ def main(argv=None) -> int:
         failures.append(
             f"{verify_name}: verify-phase speedup {verify_record['speedup']:.2f}x "
             f"is below the required {arguments.min_verify_speedup:.2f}x"
+        )
+
+    update_name, update_churn, update_edges, update_sigmas = UPDATE_WORKLOAD
+    update_record = run_update_workload(
+        environment, update_name, update_churn, update_edges, update_sigmas
+    )
+    gate["workloads"][update_name] = update_record
+    if not update_record["answers_identical"]:
+        failures.append(
+            f"{update_name}: incrementally updated index answers differ from "
+            "a from-scratch rebuild"
+        )
+    if update_record["speedup"] < arguments.min_update_speedup:
+        failures.append(
+            f"{update_name}: incremental-update speedup "
+            f"{update_record['speedup']:.2f}x is below the required "
+            f"{arguments.min_update_speedup:.2f}x"
         )
 
     pruning = gate["workloads"]["pruning_cost"]

@@ -14,6 +14,10 @@ Subcommands
     over a worker pool, ``--verify-workers`` parallelizes candidate
     verification within each query, and ``--verifier`` picks the
     verification implementation (``auto``/``bounded``/``legacy``).
+``update``
+    Incrementally add and/or remove graphs in a saved engine — no rebuild:
+    the fragment index and its posting lists are updated in place and both
+    the engine and the (mutated) database are written back out.
 ``stats``
     Print database / index statistics.
 ``experiments``
@@ -25,6 +29,10 @@ Example session::
     pis generate --count 200 --output db.json
     pis index --database db.json --max-edges 5 --engine-output engine.json
     pis query --database db.json --engine engine.json --sigma 2 --workers 4
+    pis generate --count 20 --seed 9 --output delta.json
+    pis update --database db.json --engine engine.json \\
+        --add delta.json --remove 3,17 \\
+        --database-output db.json --engine-output engine.json
 
 or, with a declarative engine config::
 
@@ -142,6 +150,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare-naive",
         action="store_true",
         help="also run the naive scan (slow) to cross-check the answers",
+    )
+
+    update = subparsers.add_parser(
+        "update", help="incrementally add/remove graphs in a saved engine"
+    )
+    update.add_argument(
+        "--database", type=Path, required=True, help="database JSON path"
+    )
+    update.add_argument(
+        "--engine", type=Path, required=True, help="saved engine JSON path"
+    )
+    update.add_argument(
+        "--add",
+        type=Path,
+        help="database JSON whose graphs are appended and indexed",
+    )
+    update.add_argument(
+        "--remove",
+        help="comma-separated graph ids to remove (e.g. 3,17,42)",
+    )
+    update.add_argument(
+        "--reuse-ids",
+        action="store_true",
+        help="assign added graphs to retired (removed) ids before fresh ones",
+    )
+    update.add_argument(
+        "--database-output",
+        type=Path,
+        help="where to write the mutated database (default: --database)",
+    )
+    update.add_argument(
+        "--engine-output",
+        type=Path,
+        help="where to write the updated engine (default: --engine)",
     )
 
     stats = subparsers.add_parser("stats", help="print database / index statistics")
@@ -285,6 +327,48 @@ def _command_query(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_update(arguments: argparse.Namespace) -> int:
+    if arguments.add is None and arguments.remove is None:
+        print("nothing to do: pass --add and/or --remove", file=sys.stderr)
+        return 2
+    removals: List[int] = []
+    if arguments.remove is not None:
+        try:
+            removals = [
+                int(token) for token in arguments.remove.split(",") if token.strip()
+            ]
+        except ValueError:
+            print(
+                f"--remove expects comma-separated integer ids, got "
+                f"{arguments.remove!r}",
+                file=sys.stderr,
+            )
+            return 2
+    database = GraphDatabase.load(arguments.database)
+    engine = Engine.load(arguments.engine, database)
+    removed_entries = 0
+    if removals:
+        removed_entries = engine.remove_graphs(removals)
+    added_ids: List[int] = []
+    if arguments.add is not None:
+        additions = GraphDatabase.load(arguments.add)
+        added_ids = engine.add_graphs(list(additions), reuse_ids=arguments.reuse_ids)
+    database.save(arguments.database_output or arguments.database)
+    engine.save(arguments.engine_output or arguments.engine)
+    print(
+        f"removed {len(removals)} graphs ({removed_entries} index entries), "
+        f"added {len(added_ids)} graphs"
+        + (f" at ids {added_ids}" if added_ids else "")
+    )
+    print(
+        f"database: {len(database)} live graphs "
+        f"({len(database.removed_ids())} retired ids); "
+        f"index generation {engine.index.generation}"
+    )
+    print(json.dumps(engine.index.stats().as_dict(), indent=2))
+    return 0
+
+
 def _command_stats(arguments: argparse.Namespace) -> int:
     if arguments.database is None and arguments.index is None and arguments.engine is None:
         print(
@@ -343,6 +427,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _command_generate,
         "index": _command_index,
         "query": _command_query,
+        "update": _command_update,
         "stats": _command_stats,
         "experiments": _command_experiments,
     }

@@ -6,6 +6,16 @@ a stable integer identifier (the paper's implementation likewise stores only
 graph identifiers in the index, never the graphs themselves), exposes
 aggregate statistics used by the experiment reports, and supports JSON
 persistence.
+
+The database is *dynamic*: :meth:`GraphDatabase.remove` tombstones a slot
+(the identifier is retired, never silently renumbered, so every graph id
+stored in an index stays valid), :meth:`GraphDatabase.add` can explicitly
+reclaim a tombstoned identifier, and :meth:`GraphDatabase.replace` rebinds a
+slot to a new graph.  Every rebinding of a slot bumps that slot's
+*revision* (:meth:`revision`) and the database-wide :attr:`generation`
+counter; caches keyed by graph id (for example the exact-distance memo
+cache of :mod:`repro.search.verify`) include the revision in their keys so
+they can never serve a value computed for a previous occupant of the id.
 """
 
 from __future__ import annotations
@@ -87,6 +97,12 @@ class DatabaseStats:
 class GraphDatabase:
     """An ordered collection of labeled graphs with stable integer ids.
 
+    Identifiers are append-ordered and *stable*: removing a graph
+    tombstones its slot instead of renumbering the rest, so ids recorded in
+    a fragment index stay valid across mutations.  A tombstoned id can be
+    reclaimed explicitly (``add(graph, graph_id=...)``); every rebinding of
+    a slot bumps its :meth:`revision`.
+
     Examples
     --------
     >>> db = GraphDatabase()
@@ -101,41 +117,151 @@ class GraphDatabase:
 
     def __init__(self, graphs: Optional[Iterable[LabeledGraph]] = None, name: str = ""):
         self.name = name
-        self._graphs: List[LabeledGraph] = []
+        self._graphs: List[Optional[LabeledGraph]] = []
+        self._revisions: List[int] = []
+        self._num_live = 0
+        self._generation = 0
         if graphs is not None:
             for graph in graphs:
                 self.add(graph)
 
-    def add(self, graph: LabeledGraph) -> int:
-        """Add a graph and return its integer identifier."""
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, graph: LabeledGraph, graph_id: Optional[int] = None) -> int:
+        """Add a graph and return its integer identifier.
+
+        ``graph_id=None`` (the default) appends at a fresh identifier.
+        Passing a tombstoned identifier reclaims that slot — the reuse the
+        revision counters exist for; passing a live identifier raises
+        (use :meth:`replace` to rebind a live slot on purpose).
+        """
         if not isinstance(graph, LabeledGraph):
             raise DatasetError(f"expected LabeledGraph, got {type(graph).__name__}")
-        self._graphs.append(graph)
-        return len(self._graphs) - 1
+        if graph_id is None:
+            self._graphs.append(graph)
+            self._revisions.append(0)
+            graph_id = len(self._graphs) - 1
+        else:
+            if not 0 <= graph_id < len(self._graphs):
+                raise DatasetError(
+                    f"cannot reclaim graph id {graph_id}: not a retired identifier"
+                )
+            if self._graphs[graph_id] is not None:
+                raise DatasetError(
+                    f"graph id {graph_id} is live; remove or replace it instead"
+                )
+            self._graphs[graph_id] = graph
+            self._revisions[graph_id] += 1
+        self._num_live += 1
+        self._generation += 1
+        return graph_id
 
     def extend(self, graphs: Iterable[LabeledGraph]) -> List[int]:
         """Add several graphs; return their identifiers."""
         return [self.add(graph) for graph in graphs]
 
+    def remove(self, graph_id: int) -> LabeledGraph:
+        """Tombstone a live graph; its identifier is retired, not reused.
+
+        Returns the removed graph.  The slot's revision is bumped
+        immediately, so any cache entry keyed by ``(graph_id, revision)``
+        dies with the removal rather than surviving until the id is
+        reclaimed.
+        """
+        graph = self[graph_id]  # raises DatasetError on dead/out-of-range ids
+        self._graphs[graph_id] = None
+        self._revisions[graph_id] += 1
+        self._num_live -= 1
+        self._generation += 1
+        return graph
+
+    def replace(self, graph_id: int, graph: LabeledGraph) -> LabeledGraph:
+        """Rebind a live slot to a new graph; returns the previous graph.
+
+        .. warning::
+            This mutates only the database.  Any fragment index built over
+            it still holds the previous occupant's posting-list entries and
+            will filter (and possibly prune) graph ``graph_id`` based on
+            them.  To rebind a slot under an index, go through the engine —
+            ``Engine.remove_graphs([gid])`` followed by
+            ``Engine.add_graphs([graph], reuse_ids=True)`` — which keeps
+            database and index in lock-step.  The revision bump here only
+            makes *distance caches* safe, not the index itself.
+        """
+        if not isinstance(graph, LabeledGraph):
+            raise DatasetError(f"expected LabeledGraph, got {type(graph).__name__}")
+        previous = self[graph_id]
+        self._graphs[graph_id] = graph
+        self._revisions[graph_id] += 1
+        self._generation += 1
+        return previous
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._graphs)
+        """Number of *live* graphs (tombstoned slots do not count)."""
+        return self._num_live
 
     def __iter__(self) -> Iterator[LabeledGraph]:
-        return iter(self._graphs)
+        return (graph for graph in self._graphs if graph is not None)
 
     def __getitem__(self, graph_id: int) -> LabeledGraph:
         try:
-            return self._graphs[graph_id]
-        except IndexError as exc:
+            graph = self._graphs[graph_id]
+        except (IndexError, TypeError) as exc:
             raise DatasetError(f"graph id {graph_id} out of range") from exc
+        if graph_id < 0:
+            raise DatasetError(f"graph id {graph_id} out of range")
+        if graph is None:
+            raise DatasetError(f"graph id {graph_id} has been removed")
+        return graph
+
+    def __contains__(self, graph_id: object) -> bool:
+        return (
+            isinstance(graph_id, int)
+            and 0 <= graph_id < len(self._graphs)
+            and self._graphs[graph_id] is not None
+        )
 
     def items(self) -> Iterator[Tuple[int, LabeledGraph]]:
-        """Iterate over ``(graph_id, graph)`` pairs."""
-        return iter(enumerate(self._graphs))
+        """Iterate over live ``(graph_id, graph)`` pairs."""
+        return (
+            (graph_id, graph)
+            for graph_id, graph in enumerate(self._graphs)
+            if graph is not None
+        )
 
-    def graph_ids(self) -> range:
-        """Return the range of valid graph identifiers."""
-        return range(len(self._graphs))
+    def graph_ids(self) -> List[int]:
+        """Return the live graph identifiers in ascending order."""
+        return [gid for gid, graph in enumerate(self._graphs) if graph is not None]
+
+    def removed_ids(self) -> List[int]:
+        """Return the tombstoned identifiers in ascending order."""
+        return [gid for gid, graph in enumerate(self._graphs) if graph is None]
+
+    @property
+    def id_bound(self) -> int:
+        """One past the highest identifier ever assigned (live or retired)."""
+        return len(self._graphs)
+
+    @property
+    def generation(self) -> int:
+        """Counter bumped by every mutation (add, remove, replace)."""
+        return self._generation
+
+    def revision(self, graph_id: int) -> int:
+        """Number of times the slot ``graph_id`` has been rebound.
+
+        ``0`` for a freshly appended graph; bumped by every remove,
+        replace, or id reclaim.  Out-of-range ids report revision ``0`` so
+        callers probing ids beyond this database (e.g. an index built over
+        a larger one) need no special casing.
+        """
+        if 0 <= graph_id < len(self._revisions):
+            return self._revisions[graph_id]
+        return 0
 
     def stats(self) -> DatabaseStats:
         """Return aggregate statistics for reporting."""
@@ -145,18 +271,45 @@ class GraphDatabase:
     # persistence
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Return a JSON-serializable representation of the database."""
-        return {
+        """Return a JSON-serializable representation of the database.
+
+        Tombstoned slots serialize as ``null`` entries so identifiers (and
+        therefore every graph id stored in an index) survive a round-trip;
+        per-slot revisions and the generation counter ride along whenever
+        the database has ever been mutated.
+        """
+        data: Dict[str, Any] = {
             "name": self.name,
-            "graphs": [graph.to_dict() for graph in self._graphs],
+            "graphs": [
+                graph.to_dict() if graph is not None else None
+                for graph in self._graphs
+            ],
         }
+        if any(self._revisions) or self._num_live != len(self._graphs):
+            data["revisions"] = list(self._revisions)
+            data["generation"] = self._generation
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "GraphDatabase":
-        """Rebuild a database from :meth:`to_dict` output."""
+        """Rebuild a database from :meth:`to_dict` output.
+
+        Files written before dynamic updates existed (no ``null`` slots,
+        no ``revisions``) load unchanged.
+        """
         db = cls(name=data.get("name", ""))
         for graph_data in data.get("graphs", []):
-            db.add(LabeledGraph.from_dict(graph_data))
+            if graph_data is None:
+                db._graphs.append(None)
+                db._revisions.append(1)
+            else:
+                db._graphs.append(LabeledGraph.from_dict(graph_data))
+                db._revisions.append(0)
+                db._num_live += 1
+        revisions = data.get("revisions")
+        if revisions is not None:
+            db._revisions = [int(revision) for revision in revisions]
+        db._generation = int(data.get("generation", 0))
         return db
 
     def save(self, path: Union[str, Path]) -> None:

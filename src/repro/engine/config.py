@@ -37,6 +37,12 @@ class EngineConfig:
     backend / backend_options:
         Per-class range-query backend name (``"trie"``, ``"rtree"``,
         ``"vptree"``, ``"linear"`` or ``"auto"``) and its options.
+    rebuild_threshold:
+        Tombstoned-entry fraction above which lazily-deleting backends
+        (the R-tree) compact themselves after :meth:`repro.engine.Engine.\
+remove_graphs` (see :mod:`repro.index.backends`).  ``None`` keeps each
+        backend's default; a set value is injected into
+        ``backend_options`` at build time.
     measure:
         Serialized distance measure (:func:`repro.index.measure_to_dict`
         output) or ``None`` for the paper's default edge-label mutation
@@ -68,6 +74,7 @@ class EngineConfig:
     selector_params: Dict[str, Any] = field(default_factory=dict)
     backend: str = "auto"
     backend_options: Dict[str, Any] = field(default_factory=dict)
+    rebuild_threshold: Optional[float] = None
     measure: Optional[Dict[str, Any]] = None
     strategy: str = "pis"
     strategy_params: Dict[str, Any] = field(default_factory=dict)
@@ -76,6 +83,17 @@ class EngineConfig:
     verify_workers: int = 0
 
     def __post_init__(self):
+        if self.rebuild_threshold is not None:
+            if (
+                isinstance(self.rebuild_threshold, bool)
+                or not isinstance(self.rebuild_threshold, (int, float))
+                or not 0.0 < self.rebuild_threshold <= 1.0
+            ):
+                raise EngineConfigError(
+                    "rebuild_threshold must be a number in (0, 1] or None, "
+                    f"got {self.rebuild_threshold!r}"
+                )
+            self.rebuild_threshold = float(self.rebuild_threshold)
         if not isinstance(self.verifier, str) or not self.verifier:
             raise EngineConfigError(
                 f"verifier must be a non-empty string, got {self.verifier!r}"
@@ -126,6 +144,17 @@ class EngineConfig:
             return default_edge_mutation_distance()
         return measure_from_dict(self.measure)
 
+    def resolved_backend_options(self) -> Dict[str, Any]:
+        """Backend options with the config-level knobs folded in.
+
+        ``rebuild_threshold`` is injected unless ``backend_options``
+        already pins one explicitly (the narrower setting wins).
+        """
+        options = copy.deepcopy(self.backend_options)
+        if self.rebuild_threshold is not None:
+            options.setdefault("rebuild_threshold", self.rebuild_threshold)
+        return options
+
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
@@ -140,6 +169,7 @@ class EngineConfig:
             "selector_params": copy.deepcopy(self.selector_params),
             "backend": self.backend,
             "backend_options": copy.deepcopy(self.backend_options),
+            "rebuild_threshold": self.rebuild_threshold,
             "measure": copy.deepcopy(self.measure),
             "strategy": self.strategy,
             "strategy_params": copy.deepcopy(self.strategy_params),

@@ -219,7 +219,7 @@ class Engine:
             features,
             measure,
             backend=config.backend,
-            backend_options=config.backend_options,
+            backend_options=config.resolved_backend_options(),
         ).build(database, workers=workers)
         return cls(database, config, index)
 
@@ -324,6 +324,65 @@ class Engine:
             "caches": self.index.cache_stats() + [structure_code_cache().stats()],
             "index": self.index.stats().as_dict(),
         }
+
+    # ------------------------------------------------------------------
+    # incremental updates
+    # ------------------------------------------------------------------
+    def add_graphs(
+        self,
+        graphs: Sequence[LabeledGraph],
+        reuse_ids: bool = False,
+    ) -> List[int]:
+        """Add graphs to the database *and* the index, without a rebuild.
+
+        Each graph is appended to the database (``reuse_ids=True`` reclaims
+        retired identifiers first, lowest first) and incrementally indexed
+        — equivalence classes, occurrence counts, and posting-list bitsets
+        update in place, and the affected memo caches are invalidated, so
+        subsequent searches answer exactly as a from-scratch rebuild over
+        the grown database would.
+
+        Returns the assigned graph ids, in input order.
+        """
+        assigned: List[int] = []
+        reclaimable = self.database.removed_ids() if reuse_ids else []
+        for graph in graphs:
+            graph_id = (
+                self.database.add(graph, graph_id=reclaimable.pop(0))
+                if reclaimable
+                else self.database.add(graph)
+            )
+            self.index.add_graph(graph_id, graph)
+            assigned.append(graph_id)
+        self._strategy = None
+        return assigned
+
+    def remove_graphs(self, graph_ids: Sequence[int]) -> int:
+        """Remove graphs from the database and the index, without a rebuild.
+
+        The identifiers are retired (tombstoned), never renumbered, so
+        every other graph keeps its id.  Returns the number of distinct
+        index entries removed.  Removing an unknown or already-removed id
+        raises before anything is mutated.
+        """
+        graph_ids = list(graph_ids)
+        if len(set(graph_ids)) != len(graph_ids):
+            raise EngineError(f"duplicate graph ids in removal batch: {graph_ids}")
+        for graph_id in graph_ids:
+            if graph_id not in self.database:
+                raise EngineError(
+                    f"cannot remove graph id {graph_id}: not a live database graph"
+                )
+        removed = 0
+        for graph_id in graph_ids:
+            self.database.remove(graph_id)
+            if (
+                graph_id < self.index.num_graphs
+                and graph_id not in self.index.removed_graph_ids
+            ):
+                removed += self.index.remove_graph(graph_id)
+        self._strategy = None
+        return removed
 
     # ------------------------------------------------------------------
     # querying
@@ -499,10 +558,14 @@ class Engine:
             raise SerializationError("not a serialized PIS engine")
         config = EngineConfig.from_dict(data.get("config", {}))
         index = index_from_dict(data.get("index", {}))
-        if index.num_graphs != len(database):
+        # Compare identifier bounds, not live counts: a database that has
+        # seen removals legitimately holds fewer live graphs than its id
+        # bound, and the index tracks the same bound.
+        database_bound = getattr(database, "id_bound", len(database))
+        if index.num_graphs != database_bound:
             raise EngineError(
-                f"engine was built over {index.num_graphs} graphs but the "
-                f"supplied database has {len(database)}; load the engine "
+                f"engine was built over {index.num_graphs} graph ids but the "
+                f"supplied database spans {database_bound}; load the engine "
                 "with the database it was built from"
             )
         stored = data.get("database_fingerprint")

@@ -12,6 +12,14 @@ A backend stores ``(sequence, graph_id)`` pairs (identical sequences from
 the same graph are collapsed) and answers *range queries*: given a query
 sequence and a radius ``sigma``, return for every graph id the minimum
 sequence distance among its stored occurrences that is ``<= sigma``.
+
+Backends are *dynamic*: :meth:`ClassIndexBackend.delete` drops every entry
+of one graph id, so the fragment index can remove database graphs without
+a full rebuild.  Backends where true deletion is cheap (linear scan, trie,
+VP-tree) remove entries eagerly; backends where it is impractical (the
+R-tree) tombstone the graph id and compact — rebuild the structure from
+the surviving entries — once the tombstoned fraction crosses the
+``rebuild_threshold`` knob every backend constructor accepts.
 """
 
 from __future__ import annotations
@@ -31,19 +39,46 @@ __all__ = [
 
 AnnotationSequence = Tuple[Any, ...]
 
+#: default tombstoned-entry fraction that triggers compaction in backends
+#: that delete lazily (currently the R-tree)
+DEFAULT_REBUILD_THRESHOLD = 0.3
+
 
 class ClassIndexBackend:
     """Protocol for per-class range-query indexes.
 
-    Subclasses must implement :meth:`insert` and :meth:`range_query`; the
-    remaining helpers have sensible default implementations.
+    Subclasses must implement :meth:`insert`, :meth:`range_query` and
+    :meth:`delete`; the remaining helpers have sensible default
+    implementations.
+
+    Parameters
+    ----------
+    measure:
+        The distance measure range queries are answered under.
+    rebuild_threshold:
+        Tombstoned-entry fraction above which a lazily-deleting backend
+        compacts itself.  Accepted (and stored) by every backend so the
+        knob can be set through ``backend_options`` uniformly; backends
+        that delete eagerly simply never consult it.
     """
 
     #: identifier used in factory lookups and serialized indexes
     name = "abstract"
 
-    def __init__(self, measure: DistanceMeasure):
+    #: whether :meth:`delete` is implemented (all shipped backends: yes)
+    supports_delete = False
+
+    def __init__(
+        self,
+        measure: DistanceMeasure,
+        rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
+    ):
+        if not 0.0 < rebuild_threshold <= 1.0:
+            raise IndexError_(
+                f"rebuild_threshold must be in (0, 1], got {rebuild_threshold!r}"
+            )
         self.measure = measure
+        self.rebuild_threshold = float(rebuild_threshold)
 
     # -- required API ---------------------------------------------------
     def insert(self, sequence: AnnotationSequence, graph_id: int) -> None:
@@ -54,6 +89,16 @@ class ClassIndexBackend:
         self, sequence: AnnotationSequence, radius: float
     ) -> Dict[int, float]:
         """Return ``{graph_id: min distance}`` for distances ``<= radius``."""
+        raise NotImplementedError
+
+    def delete(self, graph_id: int) -> int:
+        """Drop every entry of ``graph_id``; return how many were dropped.
+
+        After the call the graph id must be absent from
+        :meth:`range_query` results, :meth:`entries`, and ``len()`` —
+        whether the backend removed the entries eagerly or tombstoned
+        them for a later compaction is an implementation detail.
+        """
         raise NotImplementedError
 
     # -- optional API ----------------------------------------------------
@@ -85,13 +130,31 @@ class LinearScanBackend(ClassIndexBackend):
     """
 
     name = "linear"
+    supports_delete = True
 
-    def __init__(self, measure: DistanceMeasure):
-        super().__init__(measure)
+    def __init__(
+        self,
+        measure: DistanceMeasure,
+        rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
+    ):
+        super().__init__(measure, rebuild_threshold=rebuild_threshold)
         self._by_sequence: Dict[AnnotationSequence, set] = {}
 
     def insert(self, sequence: AnnotationSequence, graph_id: int) -> None:
         self._by_sequence.setdefault(tuple(sequence), set()).add(graph_id)
+
+    def delete(self, graph_id: int) -> int:
+        removed = 0
+        emptied = []
+        for sequence, graph_ids in self._by_sequence.items():
+            if graph_id in graph_ids:
+                graph_ids.discard(graph_id)
+                removed += 1
+                if not graph_ids:
+                    emptied.append(sequence)
+        for sequence in emptied:
+            del self._by_sequence[sequence]
+        return removed
 
     def range_query(
         self, sequence: AnnotationSequence, radius: float

@@ -71,6 +71,19 @@ class _VectorStore:
         self._graph_ids.append(graph_id)
         self._matrix = None
 
+    def remove(self, graph_id: int) -> None:
+        """Drop every vector owned by ``graph_id``."""
+        if graph_id not in self._graph_ids:
+            return
+        kept = [
+            (vector, owner)
+            for vector, owner in zip(self._vectors, self._graph_ids)
+            if owner != graph_id
+        ]
+        self._vectors = [vector for vector, _ in kept]
+        self._graph_ids = [owner for _, owner in kept]
+        self._matrix = None
+
     def range_query(
         self, point: Tuple[float, ...], radius: float
     ) -> Dict[int, float]:
@@ -123,6 +136,9 @@ class EquivalenceClassIndex:
         self._containing_bits = 0
         self._bits_ok = True
         self._num_occurrences = 0
+        # per-graph occurrence counts, so removing a graph can return the
+        # class totals to exactly what a build without it would report
+        self._occurrences_by_graph: Dict[int, int] = {}
         self._vector_store: Optional[_VectorStore] = (
             _VectorStore() if measure.supports_vectorization() else None
         )
@@ -177,6 +193,9 @@ class EquivalenceClassIndex:
         if sequences:
             self._record_graph(graph_id)
             self._num_occurrences += len(sequences)
+            self._occurrences_by_graph[graph_id] = (
+                self._occurrences_by_graph.get(graph_id, 0) + len(sequences)
+            )
         return len(sequences)
 
     def insert_sequence(self, sequence: AnnotationSequence, graph_id: int) -> None:
@@ -184,6 +203,49 @@ class EquivalenceClassIndex:
         self._store(tuple(sequence), graph_id)
         self._record_graph(graph_id)
         self._num_occurrences += 1
+        self._occurrences_by_graph[graph_id] = (
+            self._occurrences_by_graph.get(graph_id, 0) + 1
+        )
+
+    def remove_graph(self, graph_id: int) -> int:
+        """Remove every indexed occurrence of ``graph_id`` from this class.
+
+        Updates the backend, the containing-graph set and bitset posting
+        list, the vectorized scan arrays, and the occurrence counts.
+        Returns the number of distinct backend entries removed (0 if the
+        graph never contained this structure).
+        """
+        if graph_id not in self._containing_graphs:
+            return 0
+        removed = self.backend.delete(graph_id)
+        self._containing_graphs.discard(graph_id)
+        if self._bits_ok and supported_id(graph_id):
+            self._containing_bits &= ~(1 << graph_id)
+        if self._vector_store is not None:
+            self._vector_store.remove(graph_id)
+        per_graph_total = sum(self._occurrences_by_graph.values())
+        occurrences = self._occurrences_by_graph.pop(graph_id, removed)
+        if self._num_occurrences == per_graph_total:
+            self._num_occurrences -= occurrences
+        else:
+            # Indexes loaded from schema v1/v2 files restored an exact
+            # total but only a distinct-entry per-graph breakdown
+            # (duplicate occurrences collapse at save time), so the two
+            # disagree.  Subtracting the undercounted per-graph value
+            # would leave the total permanently inflated; reconcile to
+            # the per-graph basis instead, which stays self-consistent
+            # (num_occurrences == sum(occurrences_by_graph)) from here on.
+            self._num_occurrences = per_graph_total - occurrences
+        return removed
+
+    def occurrences_of(self, graph_id: int) -> int:
+        """Number of indexed occurrences owned by ``graph_id``."""
+        return self._occurrences_by_graph.get(graph_id, 0)
+
+    @property
+    def occurrences_by_graph(self) -> Dict[int, int]:
+        """Copy of the per-graph occurrence counts (graph id -> count)."""
+        return dict(self._occurrences_by_graph)
 
     # ------------------------------------------------------------------
     # queries

@@ -29,6 +29,13 @@ Performance machinery (all honouring the global optimization flags in
   verifiers of :mod:`repro.search.verify`;
 * :meth:`build` can fan fragment enumeration out over worker processes
   (``workers=N``), producing an index byte-identical to the serial build.
+
+The index is *dynamic*: :meth:`add_graph` / :meth:`remove_graph` update the
+equivalence classes, per-class occurrence counts, and posting-list bitsets
+in place — removed ids are retired (never silently renumbered) and every
+mutation bumps the :attr:`generation` counter and invalidates the affected
+memo caches, so searches against a mutated index answer exactly as a
+from-scratch rebuild over the same final database would.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ from typing import Any, Dict, FrozenSet, Hashable, Iterable, Iterator, List, Opt
 from ..core.canonical import CanonicalCode, structure_code
 from ..core.database import GraphDatabase
 from ..core.distance import DistanceMeasure
-from ..core.errors import FeatureNotIndexedError, IndexNotBuiltError
+from ..core.errors import FeatureNotIndexedError, IndexError_, IndexNotBuiltError
 from ..core.graph import LabeledGraph, edge_key
 from .. import perf
 from ..perf import GLOBAL_COUNTERS, MemoCache, PerfCounters, graph_signature
@@ -102,6 +109,7 @@ class IndexStats:
     num_entries: int
     min_fragment_edges: int
     max_fragment_edges: int
+    num_removed_graphs: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Return the statistics as a plain dictionary."""
@@ -112,6 +120,7 @@ class IndexStats:
             "num_entries": self.num_entries,
             "min_fragment_edges": self.min_fragment_edges,
             "max_fragment_edges": self.max_fragment_edges,
+            "num_removed_graphs": self.num_removed_graphs,
         }
 
 
@@ -177,6 +186,8 @@ class FragmentIndex:
         self.backend_options = dict(backend_options or {})
         self._classes: Dict[CanonicalCode, EquivalenceClassIndex] = {}
         self._num_graphs = 0
+        self._removed_ids: set = set()
+        self._generation = 0
         self._built = False
         self.counters = PerfCounters(mirror=GLOBAL_COUNTERS)
         self._fragment_cache = MemoCache(
@@ -186,9 +197,13 @@ class FragmentIndex:
             "range_query", maxsize=16384, counters=self.counters
         )
         # Exact verification distances keyed by (measure+query content,
-        # graph id).  True distances do not depend on what is indexed, so
-        # index mutation does not invalidate this cache; it is shared with
-        # every verifier built over this index (repro.search.verify).
+        # graph id, graph revision); shared with every verifier built over
+        # this index (repro.search.verify).  A cached distance describes
+        # the *database graph* behind an id, so it must die whenever that
+        # binding can change: removals (and re-adds of a retired id) clear
+        # the cache here, and the verifiers additionally key every entry
+        # by the database's per-slot revision, so an id reused for a
+        # different graph can never resurface a stale distance.
         self._distance_cache = MemoCache(
             "verify_distance", maxsize=65536, counters=self.counters
         )
@@ -198,9 +213,23 @@ class FragmentIndex:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
-    def _invalidate_caches(self) -> None:
+    def _invalidate_caches(self, distances: bool = False) -> None:
+        """Drop memo caches after a mutation.
+
+        The fragment and range caches reflect what is indexed and are
+        always dropped.  ``distances=True`` also drops the exact-distance
+        cache — required whenever a graph id's binding may have changed
+        (removal, or re-indexing a retired id), because cached distances
+        describe database graphs, not index contents.
+        """
         self._fragment_cache.clear()
         self._range_cache.clear()
+        if distances:
+            self._distance_cache.clear()
+
+    def _mark_mutation(self, distances: bool = False) -> None:
+        self._generation += 1
+        self._invalidate_caches(distances=distances)
 
     def clear_caches(self) -> None:
         """Drop all index-owned memo caches (fragments, ranges, distances)."""
@@ -238,7 +267,7 @@ class FragmentIndex:
                 backend=self.backend_name,
                 backend_options=self.backend_options,
             )
-            self._invalidate_caches()
+            self._mark_mutation()
         return code
 
     def build(
@@ -259,8 +288,12 @@ class FragmentIndex:
         """
         if not isinstance(database, GraphDatabase):
             database = GraphDatabase(database)
-        self._num_graphs = len(database)
+        # Index identifiers up to the database's id bound; tombstoned slots
+        # are recorded so candidate fallbacks never report retired ids.
+        self._num_graphs = database.id_bound
+        self._removed_ids = set(database.removed_ids())
         pool_size = int(workers or 0)
+        generation_before = self._generation
         with self.counters.timer("index_build"):
             if (
                 pool_size > 1
@@ -272,6 +305,10 @@ class FragmentIndex:
             else:
                 for graph_id, graph in database.items():
                     self.index_graph(graph_id, graph)
+        # One whole build counts as one mutation regardless of how many
+        # per-graph steps (or worker chunks) it took, so serial and
+        # parallel builds serialize identically.
+        self._generation = generation_before + 1
         self._built = True
         return self
 
@@ -318,8 +355,11 @@ class FragmentIndex:
         """Index all feature occurrences of a single graph.
 
         Returns the total number of occurrences inserted.  Exposed so that
-        incremental loads and streaming builders can add graphs one by one.
+        incremental loads and streaming builders can add graphs one by one;
+        :meth:`add_graph` wraps it with the stricter id bookkeeping of the
+        update subsystem.
         """
+        reused = graph_id in self._removed_ids
         total = 0
         for class_index in self._classes.values():
             skeleton = class_index.skeleton
@@ -329,20 +369,125 @@ class FragmentIndex:
             ):
                 continue
             total += class_index.index_graph(graph_id, graph)
+        self._removed_ids.discard(graph_id)
         if graph_id >= self._num_graphs:
             self._num_graphs = graph_id + 1
         self._built = True
         self.counters.increment("index_build.occurrences", total)
-        self._invalidate_caches()
+        self._mark_mutation(distances=reused)
         return total
+
+    # ------------------------------------------------------------------
+    # incremental updates
+    # ------------------------------------------------------------------
+    def add_graph(self, graph_id: int, graph: LabeledGraph) -> int:
+        """Incrementally index one database graph under ``graph_id``.
+
+        Unlike the permissive :meth:`index_graph`, this is the update
+        subsystem's entry point: the id must be *fresh* (at or beyond the
+        current bound) or *retired* (previously removed) — re-adding a live
+        id raises, because silently indexing a second graph under an
+        existing id would corrupt the posting lists.  Ids skipped over
+        (``add_graph(7, ...)`` on an index bounded at 5) are recorded as
+        retired so candidate fallbacks never invent them.
+
+        Returns the number of fragment occurrences indexed.
+        """
+        if not isinstance(graph_id, int) or isinstance(graph_id, bool) or graph_id < 0:
+            raise IndexError_(f"graph id must be a non-negative int, got {graph_id!r}")
+        if graph_id < self._num_graphs and graph_id not in self._removed_ids:
+            raise IndexError_(
+                f"graph id {graph_id} is already indexed; remove it before "
+                "re-adding"
+            )
+        if graph_id > self._num_graphs:
+            self._removed_ids.update(range(self._num_graphs, graph_id))
+        with self.counters.timer("index_update"):
+            total = self.index_graph(graph_id, graph)
+        self.counters.increment("index_update.added_graphs")
+        return total
+
+    def add_graphs(
+        self, graphs: Iterable[Tuple[int, LabeledGraph]]
+    ) -> int:
+        """Incrementally index ``(graph_id, graph)`` pairs; returns occurrences."""
+        return sum(self.add_graph(graph_id, graph) for graph_id, graph in graphs)
+
+    def remove_graph(self, graph_id: int) -> int:
+        """Remove one graph from every equivalence class.
+
+        Posting-list bitsets, occurrence counts, vectorized scan arrays,
+        and backend entries are updated in place; the id is retired (it
+        stays out of candidate fallbacks until explicitly re-added).  All
+        memo caches — including the exact-distance cache, whose entries
+        describe the graph being removed — are invalidated.
+
+        Returns the number of distinct backend entries removed.  Removing
+        an id that is not live raises
+        :class:`~repro.core.errors.IndexError_`.
+        """
+        if (
+            not isinstance(graph_id, int)
+            or isinstance(graph_id, bool)
+            or not 0 <= graph_id < self._num_graphs
+            or graph_id in self._removed_ids
+        ):
+            raise IndexError_(f"graph id {graph_id!r} is not a live indexed graph")
+        with self.counters.timer("index_update"):
+            removed = sum(
+                class_index.remove_graph(graph_id)
+                for class_index in self._classes.values()
+            )
+        self._removed_ids.add(graph_id)
+        self.counters.increment("index_update.removed_graphs")
+        self._mark_mutation(distances=True)
+        return removed
+
+    def remove_graphs(self, graph_ids: Iterable[int]) -> int:
+        """Remove several graphs; returns total backend entries removed."""
+        return sum(self.remove_graph(graph_id) for graph_id in list(graph_ids))
 
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
     @property
     def num_graphs(self) -> int:
-        """Number of database graphs the index was built over."""
+        """Graph-id bound of the index (one past the highest id ever seen).
+
+        Removed graphs keep their ids retired, so this bound never shrinks;
+        use :attr:`num_live_graphs` for the live count.
+        """
         return self._num_graphs
+
+    @property
+    def num_live_graphs(self) -> int:
+        """Number of live (non-removed) database graphs the index covers."""
+        return self._num_graphs - len(self._removed_ids)
+
+    @property
+    def generation(self) -> int:
+        """Counter bumped by every mutation (feature, graph add/remove).
+
+        Memo caches are invalidated on every bump, so two identical
+        generation values bracket a window in which cached results are
+        valid.
+        """
+        return self._generation
+
+    @property
+    def removed_graph_ids(self) -> FrozenSet[int]:
+        """The retired (removed, not re-added) graph ids."""
+        return frozenset(self._removed_ids)
+
+    def live_graph_ids(self) -> List[int]:
+        """Every live graph id below the bound, in ascending order."""
+        if not self._removed_ids:
+            return list(range(self._num_graphs))
+        return [
+            graph_id
+            for graph_id in range(self._num_graphs)
+            if graph_id not in self._removed_ids
+        ]
 
     @property
     def num_classes(self) -> int:
@@ -398,6 +543,7 @@ class FragmentIndex:
             num_entries=sum(c.num_entries for c in self._classes.values()),
             min_fragment_edges=low,
             max_fragment_edges=high,
+            num_removed_graphs=len(self._removed_ids),
         )
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ which covers both paper measures (categorical labels and numeric weights).
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Union
 
@@ -63,14 +64,17 @@ def measure_from_dict(data: Dict[str, Any]) -> DistanceMeasure:
     raise SerializationError(f"unknown distance measure {name!r}")
 
 
-#: current index schema version.  Version 2 adds the per-class occurrence
+#: current index schema version.  Version 2 added the per-class occurrence
 #: count — version 1 conflated it with the distinct-entry count on reload,
 #: because duplicate sequences collapse in the backend — so a loaded index
-#: reports statistics identical to the index that was saved.
-INDEX_SCHEMA_VERSION = 2
+#: reports statistics identical to the index that was saved.  Version 3
+#: adds the incremental-update state: the retired (tombstoned) graph ids,
+#: the mutation generation counter, and per-class *per-graph* occurrence
+#: counts, so a reloaded index can keep mutating with exact statistics.
+INDEX_SCHEMA_VERSION = 3
 
 #: schema versions this loader understands
-SUPPORTED_INDEX_VERSIONS = (1, 2)
+SUPPORTED_INDEX_VERSIONS = (1, 2, 3)
 
 
 def index_to_dict(index: FragmentIndex) -> Dict[str, Any]:
@@ -80,10 +84,15 @@ def index_to_dict(index: FragmentIndex) -> Dict[str, Any]:
         grouped: Dict[Any, list] = {}
         for sequence, graph_id in class_index.entries():
             grouped.setdefault(tuple(sequence), []).append(graph_id)
+        occurrences = class_index.occurrences_by_graph
         classes.append(
             {
                 "skeleton": class_index.skeleton.to_dict(),
                 "num_occurrences": class_index.num_occurrences,
+                "occurrences_by_graph": [
+                    [graph_id, occurrences[graph_id]]
+                    for graph_id in sorted(occurrences)
+                ],
                 "entries": [
                     {"sequence": list(sequence), "graph_ids": sorted(graph_ids)}
                     for sequence, graph_ids in grouped.items()
@@ -97,19 +106,36 @@ def index_to_dict(index: FragmentIndex) -> Dict[str, Any]:
         "backend": index.backend_name,
         "backend_options": dict(index.backend_options),
         "num_graphs": index.num_graphs,
+        "removed_ids": sorted(index.removed_graph_ids),
+        "generation": index.generation,
         "classes": classes,
     }
 
 
-def index_from_dict(data: Dict[str, Any]) -> FragmentIndex:
+def index_from_dict(data: Dict[str, Any], strict: bool = False) -> FragmentIndex:
     """Rebuild a :class:`FragmentIndex` from :func:`index_to_dict` output.
 
     Accepts every schema version in :data:`SUPPORTED_INDEX_VERSIONS`;
     version-2 files restore exact per-class occurrence counts, version-1
-    files keep their historical behaviour (occurrences == entries).
+    files keep their historical behaviour (occurrences == entries), and
+    version-3 files additionally restore the incremental-update state
+    (retired graph ids, generation counter, per-graph occurrence counts).
+
+    A file with *no* ``version`` field is suspicious — it is what a
+    truncated or hand-mangled dump looks like — so it triggers a
+    :class:`UserWarning` before being treated as version 1, or a
+    :class:`~repro.core.errors.SerializationError` under ``strict=True``.
     """
     if data.get("format") != "pis-fragment-index":
         raise SerializationError("not a serialized PIS fragment index")
+    if "version" not in data:
+        message = (
+            "serialized index has no 'version' field; assuming schema "
+            "version 1 (a truncated or corrupted file can look like this)"
+        )
+        if strict:
+            raise SerializationError(message)
+        warnings.warn(message, UserWarning, stacklevel=2)
     version = data.get("version", 1)
     if version not in SUPPORTED_INDEX_VERSIONS:
         raise SerializationError(
@@ -134,7 +160,14 @@ def index_from_dict(data: Dict[str, Any]) -> FragmentIndex:
         stored_occurrences = class_data.get("num_occurrences")
         if stored_occurrences is not None:
             class_index._num_occurrences = int(stored_occurrences)
+        per_graph = class_data.get("occurrences_by_graph")
+        if per_graph is not None:
+            class_index._occurrences_by_graph = {
+                int(graph_id): int(count) for graph_id, count in per_graph
+            }
     index._num_graphs = int(data.get("num_graphs", 0))
+    index._removed_ids = {int(graph_id) for graph_id in data.get("removed_ids", [])}
+    index._generation = int(data.get("generation", index.generation))
     index._built = True
     return index
 
@@ -149,10 +182,16 @@ def save_index(index: FragmentIndex, path: Union[str, Path]) -> None:
         ) from exc
 
 
-def load_index(path: Union[str, Path]) -> FragmentIndex:
-    """Load a fragment index previously written by :func:`save_index`."""
+def load_index(path: Union[str, Path], strict: bool = False) -> FragmentIndex:
+    """Load a fragment index previously written by :func:`save_index`.
+
+    ``strict=True`` turns the missing-``version`` warning of
+    :func:`index_from_dict` into a :class:`SerializationError`, so
+    pipelines that must not guess about corrupt files can opt out of the
+    lenient default.
+    """
     try:
         data = json.loads(Path(path).read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
         raise SerializationError(f"cannot load index from {path}: {exc}") from exc
-    return index_from_dict(data)
+    return index_from_dict(data, strict=strict)

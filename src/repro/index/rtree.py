@@ -11,6 +11,14 @@ This is a self-contained, pure-Python R-tree (Guttman's original design with
 quadratic split), sufficient for the fragment-vector workloads in this
 library: dimensionality equals the fragment sequence length (a handful of
 elements) and node capacities are small.
+
+Deletion is *lazy*: true R-tree deletion (condense-tree with reinsertion)
+is not worth its complexity at these node counts, so :meth:`delete`
+tombstones the graph id — queries and iteration filter it out — and the
+tree is compacted (rebuilt from the surviving entries) once the tombstoned
+fraction crosses ``rebuild_threshold``.  Re-inserting a tombstoned graph id
+forces an immediate compaction first, so stale entries of the id's previous
+life can never resurface.
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.distance import DistanceMeasure
 from ..core.errors import IndexError_
-from .backends import ClassIndexBackend, register_backend
+from .backends import DEFAULT_REBUILD_THRESHOLD, ClassIndexBackend, register_backend
 
 __all__ = ["RTreeBackend", "Rect"]
 
@@ -91,14 +99,16 @@ class RTreeBackend(ClassIndexBackend):
     """Guttman R-tree with quadratic split over fragment weight vectors."""
 
     name = "rtree"
+    supports_delete = True
 
     def __init__(
         self,
         measure: DistanceMeasure,
         max_entries: int = 8,
         min_entries: int = 3,
+        rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
     ):
-        super().__init__(measure)
+        super().__init__(measure, rebuild_threshold=rebuild_threshold)
         if not measure.supports_vectorization():
             raise IndexError_(
                 f"measure {measure.name!r} is not numeric; the R-tree backend "
@@ -112,6 +122,10 @@ class RTreeBackend(ClassIndexBackend):
         self._num_entries = 0
         self._seen: set = set()
         self._dimension: Optional[int] = None
+        # Lazily deleted graph ids plus the count of their leaf entries
+        # still physically present in the tree.
+        self._deleted_ids: set = set()
+        self._num_tombstoned = 0
 
     # ------------------------------------------------------------------
     # insertion
@@ -122,6 +136,10 @@ class RTreeBackend(ClassIndexBackend):
             self._dimension = len(vector)
         elif len(vector) != self._dimension:
             raise ValueError("all vectors in one equivalence class must share a dimension")
+        if graph_id in self._deleted_ids:
+            # The id is being reused: purge its tombstoned entries now so
+            # the previous occupant's vectors cannot shadow the new ones.
+            self._compact()
         key = (vector, graph_id)
         if key in self._seen:
             return
@@ -137,6 +155,54 @@ class RTreeBackend(ClassIndexBackend):
                 new_root.entries.append((node.rect, node))
             new_root.recompute_rect()
             self._root = new_root
+
+    # ------------------------------------------------------------------
+    # deletion (lazy, with threshold-triggered compaction)
+    # ------------------------------------------------------------------
+    def delete(self, graph_id: int) -> int:
+        """Tombstone every entry of ``graph_id``; compact past the threshold."""
+        removed = sum(1 for _, gid in self._seen if gid == graph_id)
+        if not removed:
+            return 0
+        self._seen = {key for key in self._seen if key[1] != graph_id}
+        self._deleted_ids.add(graph_id)
+        self._num_entries -= removed
+        self._num_tombstoned += removed
+        total = self._num_entries + self._num_tombstoned
+        if total and self._num_tombstoned / total >= self.rebuild_threshold:
+            self._compact()
+        return removed
+
+    def _compact(self) -> None:
+        """Rebuild the tree from the surviving leaf entries."""
+        survivors = [
+            payload
+            for payload in self._iter_leaf_payloads()
+            if payload[1] not in self._deleted_ids
+        ]
+        self._root = _Node(leaf=True)
+        self._num_entries = 0
+        self._seen = set()
+        self._deleted_ids = set()
+        self._num_tombstoned = 0
+        for vector, graph_id in survivors:
+            self.insert(vector, graph_id)
+
+    @property
+    def num_tombstoned(self) -> int:
+        """Leaf entries of deleted graphs still awaiting compaction."""
+        return self._num_tombstoned
+
+    def _iter_leaf_payloads(self) -> Iterator[Tuple[Vector, int]]:
+        """Every physically stored ``(vector, graph_id)``, tombstoned or not."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for _, payload in node.entries:
+                if node.leaf:
+                    yield payload
+                else:
+                    stack.append(payload)
 
     def _insert_into(self, node: _Node, rect: Rect, key) -> Optional[_Node]:
         if node.leaf:
@@ -227,6 +293,8 @@ class RTreeBackend(ClassIndexBackend):
                     continue
                 if node.leaf:
                     vector, graph_id = payload
+                    if graph_id in self._deleted_ids:
+                        continue
                     distance = sum(abs(a - b) for a, b in zip(point, vector))
                     if distance <= radius:
                         best = results.get(graph_id)
@@ -240,15 +308,9 @@ class RTreeBackend(ClassIndexBackend):
         return self._num_entries
 
     def entries(self) -> Iterator[Tuple[AnnotationSequence, int]]:
-        stack = [self._root]
-        while stack:
-            node = stack.pop()
-            for _, payload in node.entries:
-                if node.leaf:
-                    vector, graph_id = payload
-                    yield vector, graph_id
-                else:
-                    stack.append(payload)
+        for vector, graph_id in self._iter_leaf_payloads():
+            if graph_id not in self._deleted_ids:
+                yield vector, graph_id
 
     # ------------------------------------------------------------------
     # diagnostics

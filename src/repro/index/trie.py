@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..core.distance import DistanceMeasure
-from .backends import ClassIndexBackend, register_backend
+from .backends import DEFAULT_REBUILD_THRESHOLD, ClassIndexBackend, register_backend
 
 __all__ = ["TrieBackend", "TrieNode"]
 
@@ -45,9 +45,14 @@ class TrieBackend(ClassIndexBackend):
     """Prefix tree over annotation sequences with branch-and-bound search."""
 
     name = "trie"
+    supports_delete = True
 
-    def __init__(self, measure: DistanceMeasure):
-        super().__init__(measure)
+    def __init__(
+        self,
+        measure: DistanceMeasure,
+        rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
+    ):
+        super().__init__(measure, rebuild_threshold=rebuild_threshold)
         self._root = TrieNode()
         self._num_entries = 0
         self._sequence_length: Optional[int] = None
@@ -70,6 +75,26 @@ class TrieBackend(ClassIndexBackend):
         if graph_id not in node.graph_ids:
             node.graph_ids.add(graph_id)
             self._num_entries += 1
+
+    def delete(self, graph_id: int) -> int:
+        """Remove ``graph_id`` everywhere; prune branches left empty."""
+        removed = self._delete_below(self._root, graph_id)
+        self._num_entries -= removed
+        return removed
+
+    def _delete_below(self, node: TrieNode, graph_id: int) -> int:
+        removed = 0
+        if graph_id in node.graph_ids:
+            node.graph_ids.discard(graph_id)
+            removed += 1
+        emptied = []
+        for annotation, child in node.children.items():
+            removed += self._delete_below(child, graph_id)
+            if not child.children and not child.graph_ids:
+                emptied.append(annotation)
+        for annotation in emptied:
+            del node.children[annotation]
+        return removed
 
     def range_query(
         self, sequence: AnnotationSequence, radius: float

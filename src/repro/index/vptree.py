@@ -21,7 +21,7 @@ import random
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..core.distance import DistanceMeasure
-from .backends import ClassIndexBackend, register_backend
+from .backends import DEFAULT_REBUILD_THRESHOLD, ClassIndexBackend, register_backend
 
 __all__ = ["VPTreeBackend"]
 
@@ -53,9 +53,15 @@ class VPTreeBackend(ClassIndexBackend):
     """
 
     name = "vptree"
+    supports_delete = True
 
-    def __init__(self, measure: DistanceMeasure, seed: int = 17):
-        super().__init__(measure)
+    def __init__(
+        self,
+        measure: DistanceMeasure,
+        seed: int = 17,
+        rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
+    ):
+        super().__init__(measure, rebuild_threshold=rebuild_threshold)
         self._points: Dict[AnnotationSequence, set] = {}
         self._root: Optional[_VPNode] = None
         self._dirty = False
@@ -69,6 +75,23 @@ class VPTreeBackend(ClassIndexBackend):
             bucket.add(graph_id)
             self._num_entries += 1
         self._dirty = True
+
+    def delete(self, graph_id: int) -> int:
+        """Remove ``graph_id`` from every bucket; the tree rebuilds lazily."""
+        removed = 0
+        emptied = []
+        for sequence, bucket in self._points.items():
+            if graph_id in bucket:
+                bucket.discard(graph_id)
+                removed += 1
+                if not bucket:
+                    emptied.append(sequence)
+        for sequence in emptied:
+            del self._points[sequence]
+        if removed:
+            self._num_entries -= removed
+            self._dirty = True
+        return removed
 
     # ------------------------------------------------------------------
     # build

@@ -86,7 +86,6 @@ class TopoPruneSearch(SearchStrategy):
         ``sigma`` is accepted for interface uniformity but ignored:
         structure containment does not depend on the distance threshold.
         """
-        num_graphs = max(self.index.num_graphs, len(self.database))
         fragments = self.index.enumerate_query_fragments(query)
         use_bits = (
             perf.optimizations_enabled("bitsets") and self.index.supports_bitsets
@@ -115,10 +114,10 @@ class TopoPruneSearch(SearchStrategy):
         self.counters.increment("topo.classes_intersected", len(seen_codes))
         if use_bits:
             if candidate_bits is None:
-                return list(range(num_graphs))
+                return self._all_graph_ids()
             return ids_from_bits(candidate_bits)
         if candidate_ids is None:
-            candidate_ids = set(range(num_graphs))
+            return self._all_graph_ids()
         return sorted(candidate_ids)
 
 

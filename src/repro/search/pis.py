@@ -147,7 +147,7 @@ class PISearch(SearchStrategy):
             return self._filter_candidates(query, sigma)
 
     def _filter_candidates(self, query: LabeledGraph, sigma: float) -> FilterOutcome:
-        num_graphs = max(self.index.num_graphs, len(self.database))
+        num_graphs = self._database_size()
         report = PruningReport(num_database_graphs=num_graphs)
         use_bits = (
             perf.optimizations_enabled("bitsets") and self.index.supports_bitsets
@@ -187,13 +187,13 @@ class PISearch(SearchStrategy):
         if use_bits:
             if candidate_bits is None:
                 # No indexed fragment occurs in the query: the index cannot
-                # prune anything and every graph stays a candidate.
-                candidate_ids: List[int] = list(range(num_graphs))
+                # prune anything and every live graph stays a candidate.
+                candidate_ids: List[int] = self._all_graph_ids()
             else:
                 candidate_ids = ids_from_bits(candidate_bits)
         else:
             if candidate_set is None:
-                candidate_ids = list(range(num_graphs))
+                candidate_ids = self._all_graph_ids()
             else:
                 candidate_ids = sorted(candidate_set)
 

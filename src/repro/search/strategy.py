@@ -109,10 +109,24 @@ class SearchStrategy:
         return candidate_ids, PruningReport(), None
 
     def _database_size(self) -> int:
-        """Database size reported per query (index-aware, like PIS)."""
+        """Live database size reported per query (index-aware, like PIS)."""
         if self.index is not None:
-            return max(self.index.num_graphs, len(self.database))
+            return max(self.index.num_live_graphs, len(self.database))
         return len(self.database)
+
+    def _all_graph_ids(self) -> List[int]:
+        """Every live graph id — the fallback when filtering cannot prune.
+
+        Unions the database's live ids with the index's (the index may
+        cover graphs the strategy's database copy does not, and vice
+        versa) and never reports a retired id: a tombstoned graph must
+        not resurface as a candidate, because verification would fail to
+        fetch it.
+        """
+        ids = set(self.database.graph_ids())
+        if self.index is not None:
+            ids.update(self.index.live_graph_ids())
+        return sorted(ids)
 
     # ------------------------------------------------------------------
     # verification

@@ -32,10 +32,13 @@ search strategies in :mod:`repro.search.registry`:
       superposition that meets the bound is provably minimal, so the search
       stops without exploring the rest of the tree;
     * **memoization** — exact distances are cached per
-      ``(measure, query content, graph id)`` in a bounded
+      ``(measure, query content, graph id, graph revision)`` in a bounded
       :class:`~repro.perf.MemoCache` shared through the fragment index, so
       repeated queries (batches, benchmark rounds, sigma sweeps) stop
-      recomputing;
+      recomputing.  The *revision* component is the database's per-slot
+      rebinding counter (:meth:`repro.core.GraphDatabase.revision`): when a
+      graph id is removed and later reused for a different graph, its
+      revision changes and the old entry can never be served again;
     * **parallelism** — ``workers=N`` fans candidate verification out over a
       thread pool, with results merged back in deterministic candidate
       order.  Caveat: the distance computation is pure-Python CPU work, so
@@ -106,6 +109,14 @@ def query_cache_key(query: LabeledGraph, measure: DistanceMeasure) -> str:
     share cached distances while any semantic difference — a relabeled edge,
     a different measure — separates them.
 
+    This key identifies only the *query* side of a cached distance.  The
+    graph side is identified by ``(graph id, graph revision)`` — the id
+    alone is not enough, because a dynamic database can retire an id and
+    rebind it to a different graph (delete + insert), and a distance cached
+    for the previous occupant must never be served for the new one.
+    :meth:`BoundedVerifier._verify_one` therefore includes
+    ``database.revision(graph_id)`` in every cache key.
+
     Parameters
     ----------
     query:
@@ -169,6 +180,19 @@ class Verifier:
         )
         self.distance_cache = distance_cache
         self.workers = int(workers or 0)
+
+    def _graph_revision(self, graph_id: int) -> int:
+        """Rebinding revision of ``graph_id`` in the database (0 if static).
+
+        Part of every distance-cache key: a dynamic database bumps the
+        revision whenever a slot is removed, replaced, or reclaimed, which
+        retires every cached distance of the previous occupant.  Databases
+        without revision tracking are immutable-by-convention and report 0.
+        """
+        revision = getattr(self.database, "revision", None)
+        if callable(revision):
+            return revision(graph_id)
+        return 0
 
     def verify(
         self,
@@ -400,9 +424,9 @@ class BoundedVerifier(Verifier):
         within ``sigma`` and ``None`` otherwise.  Thread-safe: the memo
         cache takes its own lock and everything else is local.
         """
-        cache_key: Optional[Tuple[str, Any]] = None
+        cache_key: Optional[Tuple[str, Any, int]] = None
         if query_key is not None and self.distance_cache is not None:
-            cache_key = (query_key, graph_id)
+            cache_key = (query_key, graph_id, self._graph_revision(graph_id))
             entry = self.distance_cache.get(cache_key)
             if entry is not MemoCache.MISS:
                 distance, threshold = entry

@@ -380,9 +380,21 @@ class TestCounterSurfacing:
 # versioned index schema
 # ----------------------------------------------------------------------
 class TestIndexSchema:
-    def test_v2_roundtrip_preserves_occurrences(self, small_engine):
+    def test_current_roundtrip_preserves_occurrences(self, small_engine):
         data = index_to_dict(small_engine.index)
-        assert data["version"] == INDEX_SCHEMA_VERSION == 2
+        assert data["version"] == INDEX_SCHEMA_VERSION == 3
+        reloaded = index_from_dict(data)
+        assert (
+            reloaded.stats().as_dict() == small_engine.index.stats().as_dict()
+        )
+
+    def test_v2_documents_still_load(self, small_engine):
+        data = index_to_dict(small_engine.index)
+        data["version"] = 2
+        data.pop("removed_ids")
+        data.pop("generation")
+        for class_data in data["classes"]:
+            class_data.pop("occurrences_by_graph")
         reloaded = index_from_dict(data)
         assert (
             reloaded.stats().as_dict() == small_engine.index.stats().as_dict()
