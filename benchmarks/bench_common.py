@@ -7,8 +7,9 @@ suite's own ``conftest`` when both directories are collected together.
 Besides the shared figure configurations this module owns the
 machine-readable benchmark output: every benchmark run (the pytest figure
 suite and the ``perf_gate.py`` speedup gate) records into one JSON document
-— ``BENCH_pr4.json`` by default — which CI uploads as an artifact and
-checks against ``benchmarks/BENCH_baseline.json``.
+— ``benchmarks/history/BENCH_pr5.json`` by default, next to the checked-in
+checkpoints of earlier PRs — which CI uploads as an artifact and checks
+against ``benchmarks/BENCH_baseline.json``.
 
 Environment knobs:
 
@@ -16,8 +17,9 @@ Environment knobs:
     Use reduced configurations sized for CI (smaller database, fewer
     queries) instead of the figure-faithful defaults.
 ``PIS_BENCH_OUTPUT=path``
-    Where to write the benchmark JSON (default ``BENCH_pr4.json`` in the
-    current working directory).
+    Where to write the benchmark JSON (default
+    ``benchmarks/history/BENCH_pr5.json`` relative to the current working
+    directory).
 """
 
 import json
@@ -92,15 +94,18 @@ def emit(table):
 
 
 # ----------------------------------------------------------------------
-# machine-readable benchmark results (BENCH_pr4.json)
+# machine-readable benchmark results (benchmarks/history/BENCH_pr5.json)
 # ----------------------------------------------------------------------
 #: per-benchmark records accumulated during this process
 _RESULTS: Dict[str, Dict[str, Any]] = {}
 
+#: default benchmark document, kept with the earlier checkpoints
+DEFAULT_BENCH_OUTPUT = Path("benchmarks") / "history" / "BENCH_pr5.json"
+
 
 def bench_output_path() -> Path:
     """Path of the benchmark JSON document."""
-    return Path(os.environ.get("PIS_BENCH_OUTPUT", "BENCH_pr4.json"))
+    return Path(os.environ.get("PIS_BENCH_OUTPUT", str(DEFAULT_BENCH_OUTPUT)))
 
 
 def record_benchmark(
@@ -156,6 +161,7 @@ def write_bench_results(
     if not content:
         return None
     target = path or bench_output_path()
+    target.parent.mkdir(parents=True, exist_ok=True)
     document: Dict[str, Any] = {}
     if target.exists():
         try:

@@ -18,17 +18,36 @@ adds + removes applied through ``FragmentIndex.add_graph`` /
 ``remove_graph`` versus a from-scratch rebuild over the same final
 database, with byte-identical search answers required from both indexes.
 
+Two **sharding workloads** protect the sharded engine (PR 5):
+
+* ``sharded_search`` — full scatter-gather searches on a 4-shard engine
+  with the process executor versus the same searches on a 1-shard serial
+  engine (both cold-cache); answer ids and distances must be byte-identical
+  and the speedup must meet ``--min-sharded-speedup`` (default 1.5×).
+* ``sharded_build`` — a 4-shard build in 4 worker processes (enumeration
+  *and* backend insertion parallelized) versus the serial unsharded build;
+  the parallel-built shards must serialize byte-identically to serially
+  built ones and the speedup must meet ``--min-sharded-build-speedup``
+  (default 1.0×).
+
+Both sharding speedup floors (and their baseline regression checks) are
+enforced only on machines with at least 2 CPU cores — a single-core runner
+cannot exhibit process parallelism — but the byte-identity requirements
+hold everywhere.
+
 It asserts the two paths return **identical candidate sets** (filter
-workloads) and **identical answer ids and distances** (verify and update
-workloads), records the speedups plus counter deltas into the ``gate``
-section of ``BENCH_pr4.json``, and exits non-zero when
+workloads) and **identical answer ids and distances** (verify, update, and
+sharding workloads), records the speedups plus counter deltas into the
+``gate`` section of ``benchmarks/history/BENCH_pr5.json``, and exits
+non-zero when
 
 * candidate sets or answer sets differ between the paths,
 * the pruning-cost speedup is below ``--min-speedup`` (default 1.5×),
 * the verify-phase speedup is below ``--min-verify-speedup`` (default
   1.5×),
 * the incremental-update speedup over a rebuild is below
-  ``--min-update-speedup`` (default 2×), or
+  ``--min-update-speedup`` (default 2×),
+* a sharding floor is violated on a multi-core machine, or
 * any workload regresses more than ``--tolerance`` (default 20%) against
   the checked-in baseline (``--check-baseline benchmarks/BENCH_baseline.json``).
 
@@ -42,6 +61,7 @@ import argparse
 import copy
 import hashlib
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -55,8 +75,11 @@ if str(_REPO_ROOT / "benchmarks") not in sys.path:
 
 from repro.core.canonical import structure_code_cache  # noqa: E402
 from repro.datasets.generator import generate_chemical_database  # noqa: E402
+from repro.engine import Engine  # noqa: E402
 from repro.experiments import build_environment  # noqa: E402
 from repro.index.fragment_index import FragmentIndex  # noqa: E402
+from repro.index.persistence import index_to_dict  # noqa: E402
+from repro.index.sharded import ShardedFragmentIndex  # noqa: E402
 from repro.perf import GLOBAL_COUNTERS, optimizations_disabled  # noqa: E402
 from repro.search.pis import PISearch  # noqa: E402
 
@@ -75,6 +98,16 @@ VERIFY_WORKLOAD = ("figure10_verify", 24, (1.0, 3.0, 5.0), 2)
 
 #: the incremental-update workload: (name, churn fraction, query edges, sigmas)
 UPDATE_WORKLOAD = ("incremental_update", 0.1, 16, (1.0, 2.0))
+
+#: the sharded-search workload: (name, query edges, sigmas, shard count)
+SHARDED_WORKLOAD = ("sharded_search", 24, (1.0, 3.0, 5.0), 4)
+
+#: the sharded-build workload: (name, shard count)
+SHARDED_BUILD_WORKLOAD = ("sharded_build", 4)
+
+#: workloads whose *speedup* floors need real parallel hardware; their
+#: byte-identity checks are enforced everywhere regardless
+PARALLEL_WORKLOADS = frozenset({"sharded_search", "sharded_build"})
 
 
 def _clear_caches(environment) -> None:
@@ -251,6 +284,147 @@ def run_update_workload(environment, name, churn, query_edges, sigmas):
     return record
 
 
+def _answers_payload(batch):
+    """JSON-comparable answer ids + exact distances of one search batch."""
+    return [
+        [
+            result.answer_ids,
+            {
+                str(graph_id): result.answer_distances[graph_id]
+                for graph_id in result.answer_ids
+            },
+        ]
+        for result in batch
+    ]
+
+
+def run_sharded_workload(environment, name, query_edges, sigmas, num_shards):
+    """Measure 4-shard process scatter-gather vs 1-shard serial search.
+
+    Both engines answer the same full searches (filter *and* verify) over
+    the same database; every ``search_many`` call starts cold (all memo
+    caches cleared) so neither side banks cross-call cache reuse the other
+    cannot have.  Answer ids and exact distances must be byte-identical —
+    the sharded engine is required to be indistinguishable from the
+    unsharded one in everything but wall clock.
+    """
+    queries = environment.workload.sample_queries(
+        num_edges=query_edges, count=environment.config.queries_per_set
+    )
+    serial_engine = Engine.from_index(environment.database, environment.index)
+    sharded_index = ShardedFragmentIndex.build(
+        environment.database,
+        environment.features,
+        environment.measure,
+        num_shards=num_shards,
+        backend=environment.index.backend_name,
+        backend_options=environment.index.backend_options,
+    )
+    sharded_engine = Engine.from_index(
+        environment.database, sharded_index, executor="process"
+    )
+
+    serial_seconds = 0.0
+    sharded_seconds = 0.0
+    serial_answers = []
+    sharded_answers = []
+    for sigma in sigmas:
+        _clear_caches(environment)
+        start = time.perf_counter()
+        batch = serial_engine.search_many(queries, sigma, executor="serial")
+        serial_seconds += time.perf_counter() - start
+        serial_answers.extend(_answers_payload(batch))
+
+        sharded_index.clear_caches()
+        structure_code_cache().clear()
+        start = time.perf_counter()
+        batch = sharded_engine.search_many(queries, sigma, executor="process")
+        sharded_seconds += time.perf_counter() - start
+        sharded_answers.extend(_answers_payload(batch))
+
+    identical = serial_answers == sharded_answers
+    blob = json.dumps(sharded_answers).encode("utf-8")
+    record = {
+        "query_edges": query_edges,
+        "num_queries": len(queries),
+        "sigmas": list(sigmas),
+        "num_shards": num_shards,
+        "cpu_count": os.cpu_count() or 1,
+        "serial_seconds": round(serial_seconds, 6),
+        "sharded_seconds": round(sharded_seconds, 6),
+        "speedup": round(serial_seconds / max(sharded_seconds, 1e-9), 3),
+        "answers_identical": identical,
+        "answers_sha256": hashlib.sha256(blob).hexdigest(),
+    }
+    print(
+        f"{name}: 1-shard serial {serial_seconds:.3f}s, {num_shards}-shard "
+        f"process {sharded_seconds:.3f}s -> {record['speedup']:.2f}x speedup, "
+        f"identical={identical}"
+    )
+    return record
+
+
+def run_sharded_build_workload(environment, name, num_shards):
+    """Measure a parallel 4-shard build vs the serial unsharded build.
+
+    The parallel build constructs whole shards — fragment enumeration *and*
+    backend insertion — in worker processes; it must serialize
+    byte-identically to a serially built sharded index, so the speedup can
+    never come from doing different work.
+    """
+    database = environment.database
+    features = environment.features
+    measure = environment.measure
+    backend = environment.index.backend_name
+    backend_options = environment.index.backend_options
+
+    start = time.perf_counter()
+    FragmentIndex(
+        features, measure, backend=backend, backend_options=backend_options
+    ).build(database)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_sharded = ShardedFragmentIndex.build(
+        database,
+        features,
+        measure,
+        num_shards=num_shards,
+        backend=backend,
+        backend_options=backend_options,
+        workers=num_shards,
+    )
+    parallel_seconds = time.perf_counter() - start
+
+    serial_sharded = ShardedFragmentIndex.build(
+        database,
+        features,
+        measure,
+        num_shards=num_shards,
+        backend=backend,
+        backend_options=backend_options,
+    )
+    parallel_payload = json.dumps(index_to_dict(parallel_sharded)).encode("utf-8")
+    serial_payload = json.dumps(index_to_dict(serial_sharded)).encode("utf-8")
+    identical = parallel_payload == serial_payload
+    record = {
+        "database_size": len(database),
+        "num_shards": num_shards,
+        "cpu_count": os.cpu_count() or 1,
+        "serial_build_seconds": round(serial_seconds, 6),
+        "parallel_sharded_seconds": round(parallel_seconds, 6),
+        "speedup": round(serial_seconds / max(parallel_seconds, 1e-9), 3),
+        "shards_identical": identical,
+        "shards_sha256": hashlib.sha256(parallel_payload).hexdigest(),
+    }
+    print(
+        f"{name}: serial build {serial_seconds:.3f}s, {num_shards}-shard "
+        f"parallel build {parallel_seconds:.3f}s -> "
+        f"{record['speedup']:.2f}x speedup, identical={identical}"
+    )
+    return record
+
+
 def run_workload(environment, name, query_edges, sigmas, rounds):
     """Measure one workload in legacy and optimized mode; return its record."""
     queries = environment.workload.sample_queries(
@@ -298,7 +472,8 @@ def main(argv=None) -> int:
         "--output",
         type=Path,
         default=None,
-        help="benchmark JSON path (default: $PIS_BENCH_OUTPUT or BENCH_pr4.json)",
+        help="benchmark JSON path (default: $PIS_BENCH_OUTPUT or "
+        "benchmarks/history/BENCH_pr5.json)",
     )
     parser.add_argument(
         "--min-speedup",
@@ -319,6 +494,20 @@ def main(argv=None) -> int:
         default=2.0,
         help="required incremental-vs-rebuild speedup on the "
         "incremental_update workload",
+    )
+    parser.add_argument(
+        "--min-sharded-speedup",
+        type=float,
+        default=1.5,
+        help="required 4-process-shard vs 1-shard-serial speedup on the "
+        "sharded_search workload (enforced only with >= 2 CPU cores)",
+    )
+    parser.add_argument(
+        "--min-sharded-build-speedup",
+        type=float,
+        default=1.0,
+        help="required parallel-sharded vs serial build speedup on the "
+        "sharded_build workload (enforced only with >= 2 CPU cores)",
     )
     parser.add_argument(
         "--check-baseline",
@@ -391,6 +580,56 @@ def main(argv=None) -> int:
             f"{arguments.min_update_speedup:.2f}x"
         )
 
+    cpu_count = os.cpu_count() or 1
+    parallel_hardware = cpu_count >= 2
+    gate["cpu_count"] = cpu_count
+
+    sharded_name, sharded_edges, sharded_sigmas, sharded_shards = SHARDED_WORKLOAD
+    sharded_record = run_sharded_workload(
+        environment, sharded_name, sharded_edges, sharded_sigmas, sharded_shards
+    )
+    gate["workloads"][sharded_name] = sharded_record
+    if not sharded_record["answers_identical"]:
+        failures.append(
+            f"{sharded_name}: sharded scatter-gather answers differ from the "
+            "unsharded engine"
+        )
+    if sharded_record["speedup"] < arguments.min_sharded_speedup:
+        if parallel_hardware:
+            failures.append(
+                f"{sharded_name}: sharded speedup "
+                f"{sharded_record['speedup']:.2f}x is below the required "
+                f"{arguments.min_sharded_speedup:.2f}x"
+            )
+        else:
+            print(
+                f"SKIP: {sharded_name} speedup floor not enforced on a "
+                f"{cpu_count}-core machine (measured "
+                f"{sharded_record['speedup']:.2f}x)"
+            )
+
+    build_name, build_shards = SHARDED_BUILD_WORKLOAD
+    build_record = run_sharded_build_workload(environment, build_name, build_shards)
+    gate["workloads"][build_name] = build_record
+    if not build_record["shards_identical"]:
+        failures.append(
+            f"{build_name}: parallel-built shards serialize differently from "
+            "serially built shards"
+        )
+    if build_record["speedup"] < arguments.min_sharded_build_speedup:
+        if parallel_hardware:
+            failures.append(
+                f"{build_name}: parallel build speedup "
+                f"{build_record['speedup']:.2f}x is below the required "
+                f"{arguments.min_sharded_build_speedup:.2f}x"
+            )
+        else:
+            print(
+                f"SKIP: {build_name} speedup floor not enforced on a "
+                f"{cpu_count}-core machine (measured "
+                f"{build_record['speedup']:.2f}x)"
+            )
+
     pruning = gate["workloads"]["pruning_cost"]
     if pruning["speedup"] < arguments.min_speedup:
         failures.append(
@@ -409,6 +648,12 @@ def main(argv=None) -> int:
             measured = gate["workloads"].get(name, {}).get("speedup")
             if measured is None:
                 failures.append(f"baseline workload {name!r} was not measured")
+                continue
+            if name in PARALLEL_WORKLOADS and not parallel_hardware:
+                print(
+                    f"SKIP: {name} baseline check not enforced on a "
+                    f"{cpu_count}-core machine (measured {measured:.2f}x)"
+                )
                 continue
             floor = expected * (1.0 - arguments.tolerance)
             if measured < floor:

@@ -93,12 +93,18 @@ from .perf import (
     optimizations_disabled,
     optimizations_enabled,
 )
+from .exec import (
+    available_executors,
+    make_executor,
+    register_executor,
+)
 from .index import (
     EquivalenceClassIndex,
     FragmentIndex,
     FragmentSequencer,
     IndexStats,
     QueryFragment,
+    ShardedFragmentIndex,
     load_index,
     save_index,
 )
@@ -158,6 +164,9 @@ __all__ = [
     "register_verifier",
     "make_verifier",
     "available_verifiers",
+    "register_executor",
+    "make_executor",
+    "available_executors",
     # core
     "LabeledGraph",
     "GraphDatabase",
@@ -188,6 +197,7 @@ __all__ = [
     "min_dfs_code",
     # index
     "FragmentIndex",
+    "ShardedFragmentIndex",
     "FragmentSequencer",
     "EquivalenceClassIndex",
     "QueryFragment",

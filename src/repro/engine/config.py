@@ -61,13 +61,28 @@ remove_graphs` (see :mod:`repro.index.backends`).  ``None`` keeps each
         ``"bounded"``, ``"legacy"``, or any name registered through
         :func:`repro.search.verify.register_verifier`.
     verify_workers:
-        Default thread-pool size for parallel candidate verification
+        Default worker-pool size for parallel candidate verification
         (``0`` = serial).  Per-call overrides are available on
         :meth:`repro.engine.Engine.search` and
         :meth:`~repro.engine.Engine.search_many`.  Results are
-        byte-identical to serial; note that with pure-Python distance
-        computation the GIL limits actual speedup — for wall-clock gains
-        today prefer ``search_many(executor="process")``.
+        byte-identical to serial.  The pool *kind* follows ``executor``:
+        thread pools (the default) are GIL-bound for pure-Python distance
+        computation, while ``executor="process"`` verifies candidates in
+        worker processes for real CPU parallelism.
+    shards:
+        Number of database shards (default ``1`` = the classic unsharded
+        engine).  With ``shards > 1``, :meth:`repro.engine.Engine.build`
+        partitions the graph-id space across per-shard fragment indexes
+        (:class:`repro.index.ShardedFragmentIndex`) and every search
+        scatter-gathers across the shards — answers are byte-identical to
+        the unsharded engine.
+    executor:
+        Registry name of the :mod:`repro.exec` executor (``"serial"``,
+        ``"thread"`` — the default — or ``"process"``) that runs parallel
+        work: shard scatter-gather and parallel candidate verification.
+        ``"process"`` is the only kind that sidesteps the GIL for
+        pure-Python CPU work; it requires picklable payloads and degrades
+        to serial where process pools are unavailable.
     """
 
     selector: str = "exhaustive"
@@ -81,8 +96,16 @@ remove_graphs` (see :mod:`repro.index.backends`).  ``None`` keeps each
     verify: bool = True
     verifier: str = "auto"
     verify_workers: int = 0
+    shards: int = 1
+    executor: str = "thread"
 
     def __post_init__(self):
+        if isinstance(self.shards, bool) or not isinstance(self.shards, int):
+            raise EngineConfigError(
+                f"shards must be an int >= 1, got {self.shards!r}"
+            )
+        if self.shards < 1:
+            raise EngineConfigError(f"shards must be >= 1, got {self.shards}")
         if self.rebuild_threshold is not None:
             if (
                 isinstance(self.rebuild_threshold, bool)
@@ -108,7 +131,7 @@ remove_graphs` (see :mod:`repro.index.backends`).  ``None`` keeps each
             raise EngineConfigError(
                 f"verify_workers must be >= 0, got {self.verify_workers}"
             )
-        for attribute in ("selector", "backend", "strategy"):
+        for attribute in ("selector", "backend", "strategy", "executor"):
             value = getattr(self, attribute)
             if not isinstance(value, str) or not value:
                 raise EngineConfigError(
@@ -176,6 +199,8 @@ remove_graphs` (see :mod:`repro.index.backends`).  ``None`` keeps each
             "verify": self.verify,
             "verifier": self.verifier,
             "verify_workers": self.verify_workers,
+            "shards": self.shards,
+            "executor": self.executor,
         }
 
     @classmethod

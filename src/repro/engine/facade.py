@@ -3,10 +3,13 @@
 The paper presents PIS as a single coherent system — feature selection,
 fragment index, partition-based search — and this module exposes it that
 way: :meth:`Engine.build` turns a database plus a declarative
-:class:`~repro.engine.config.EngineConfig` into a ready-to-query engine,
-:meth:`Engine.search` / :meth:`Engine.search_many` answer SSSD queries
-(optionally in a thread or process pool, with per-query parallel candidate
-verification via ``verify_workers``), and :meth:`Engine.save` /
+:class:`~repro.engine.config.EngineConfig` into a ready-to-query engine
+(one fragment index, or ``config.shards`` of them built in parallel
+processes), :meth:`Engine.search` / :meth:`Engine.search_many` answer SSSD
+queries — scatter-gathered across the shards of a sharded engine through a
+:mod:`repro.exec` executor and merged byte-identically to the unsharded
+answers, optionally in a worker pool, with per-query parallel candidate
+verification via ``verify_workers`` — and :meth:`Engine.save` /
 :meth:`Engine.load` round-trip the configuration and the built index
 together, so a reloaded engine answers every query identically.
 """
@@ -16,17 +19,22 @@ from __future__ import annotations
 import inspect
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..core.database import GraphDatabase
 from ..core.distance import DistanceMeasure
 from ..core.errors import EngineConfigError, EngineError, SerializationError
 from ..core.graph import LabeledGraph
+from ..exec import available_executors, make_executor
 from ..index.fragment_index import FragmentIndex
 from ..index.persistence import index_from_dict, index_to_dict, measure_to_dict
+from ..index.sharded import (
+    ShardDatabaseView,
+    ShardedFragmentIndex,
+    merge_search_results,
+)
 from ..mining.registry import make_selector
 from ..perf import PerfCounters
 from ..core.canonical import structure_code_cache
@@ -135,17 +143,95 @@ def _database_fingerprint(database: GraphDatabase) -> Dict[str, int]:
     }
 
 
-def _search_chunk(
-    engine: "Engine",
-    queries: Sequence[LabeledGraph],
-    sigma: float,
-    verify_workers: Optional[int] = None,
-) -> List[SearchResult]:
-    """Process-pool task: answer a slice of the batch on a pickled engine."""
+def _search_chunk(payload: Tuple) -> List[SearchResult]:
+    """Process-executor task: answer a slice of the batch on a pickled engine."""
+    engine, queries, sigma, verify_workers = payload
     return [
         engine.search(query, sigma, verify_workers=verify_workers)
         for query in queries
     ]
+
+
+def _filter_only_search(
+    strategy: SearchStrategy,
+    query: LabeledGraph,
+    sigma: float,
+) -> SearchResult:
+    """Run one query's filtering phase only (``EngineConfig.verify=False``).
+
+    The answer set is left empty on purpose; strategies exposing a full
+    pruning report (PIS) keep it, so filter-only mode remains usable for
+    pruning-power studies over any strategy.
+    """
+    before = strategy.counters.snapshot()
+    start = time.perf_counter()
+    if hasattr(strategy, "filter_candidates"):
+        # Keep the strategy's full pruning report — filter-only mode
+        # exists precisely to study it.
+        outcome = strategy.filter_candidates(query, sigma)
+        candidate_ids = outcome.candidate_ids
+        report = outcome.report
+    else:
+        candidate_ids = strategy.candidates(query, sigma)
+        report = PruningReport(
+            num_database_graphs=len(strategy.database),
+            num_candidates=len(candidate_ids),
+        )
+    prune_seconds = time.perf_counter() - start
+    return SearchResult(
+        sigma=sigma,
+        candidate_ids=list(candidate_ids),
+        answer_ids=[],
+        prune_seconds=prune_seconds,
+        report=report,
+        method=f"{strategy.name}(filter-only)",
+        counters=strategy.counters.delta(before),
+    )
+
+
+def _run_shard_queries(
+    strategy: SearchStrategy,
+    queries: Sequence[LabeledGraph],
+    sigma: float,
+    verify: bool,
+    verify_workers: Optional[int],
+) -> List[SearchResult]:
+    """One shard's slice of a scatter: run every query sequentially.
+
+    Shared by the in-process scatter path and the process-executor task so
+    the two can never diverge; parallelism comes from running shards
+    concurrently, not from within this loop.
+    """
+    return [
+        strategy.search(query, sigma, verify_workers=verify_workers)
+        if verify
+        else _filter_only_search(strategy, query, sigma)
+        for query in queries
+    ]
+
+
+def _shard_batch_task(payload: Dict[str, Any]) -> List[SearchResult]:
+    """Executor task of the sharded scatter-gather: one shard, all queries.
+
+    The payload is a plain dict (picklable for the process executor) naming
+    the shard's database view, its fragment index, and the strategy
+    configuration; the strategy is built inside the task so worker
+    processes construct their own.
+    """
+    strategy = make_strategy(
+        payload["strategy"],
+        payload["database"],
+        measure=payload["index"].measure,
+        index=payload["index"],
+        **payload["strategy_params"],
+    )
+    return _run_shard_queries(
+        strategy,
+        payload["queries"],
+        payload["sigma"],
+        payload["verify"],
+        payload["verify_workers"],
+    )
 
 
 class Engine:
@@ -160,7 +246,7 @@ class Engine:
         self,
         database: GraphDatabase,
         config: EngineConfig,
-        index: FragmentIndex,
+        index: Union[FragmentIndex, ShardedFragmentIndex],
     ):
         self.database = database
         self.index = index
@@ -186,6 +272,7 @@ class Engine:
             )
         self._config = value
         self._strategy = None
+        self._shard_strategies: Optional[List[SearchStrategy]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -196,38 +283,58 @@ class Engine:
         database: GraphDatabase,
         config: Optional[EngineConfig] = None,
         workers: Optional[int] = None,
+        shards: Optional[int] = None,
         **overrides,
     ) -> "Engine":
         """Build an engine from scratch: select features, index, wire search.
 
         ``overrides`` replace individual config fields, so quick variants
-        read naturally: ``Engine.build(db, strategy="topoPrune")``.
+        read naturally: ``Engine.build(db, strategy="topoPrune")``; the
+        ``shards`` parameter overrides ``config.shards`` the same way.
 
-        ``workers > 1`` parallelizes fragment enumeration — the dominant
-        build cost — across a process pool
-        (:meth:`repro.index.FragmentIndex.build`); the resulting index is
-        identical to a serial build.
+        With one shard (the default), ``workers > 1`` parallelizes fragment
+        enumeration — the dominant build cost — across a process pool
+        (:meth:`repro.index.FragmentIndex.build`).  With ``shards > 1``,
+        whole shards build in parallel worker processes instead —
+        enumeration *and* backend insertion
+        (:meth:`repro.index.ShardedFragmentIndex.build`).  Either way the
+        result is identical to a serial build.
         """
         if config is None:
             config = EngineConfig()
         if overrides:
             config = config.replace(**overrides)
+        if shards is not None:
+            config = config.replace(shards=int(shards))
         measure = config.make_measure()
         selector = make_selector(config.selector, **config.selector_params)
         features = selector.select(database)
-        index = FragmentIndex(
-            features,
-            measure,
-            backend=config.backend,
-            backend_options=config.resolved_backend_options(),
-        ).build(database, workers=workers)
+        if config.shards > 1:
+            index: Union[FragmentIndex, ShardedFragmentIndex] = (
+                ShardedFragmentIndex.build(
+                    database,
+                    features,
+                    measure,
+                    num_shards=config.shards,
+                    backend=config.backend,
+                    backend_options=config.resolved_backend_options(),
+                    workers=workers,
+                )
+            )
+        else:
+            index = FragmentIndex(
+                features,
+                measure,
+                backend=config.backend,
+                backend_options=config.resolved_backend_options(),
+            ).build(database, workers=workers)
         return cls(database, config, index)
 
     @classmethod
     def from_index(
         cls,
         database: GraphDatabase,
-        index: FragmentIndex,
+        index: Union[FragmentIndex, ShardedFragmentIndex],
         config: Optional[EngineConfig] = None,
         **overrides,
     ) -> "Engine":
@@ -247,6 +354,9 @@ class Engine:
         config = config.replace(
             measure=measure_to_dict(index.measure), backend=index.backend_name
         )
+        if isinstance(index, ShardedFragmentIndex):
+            # The index is the ground truth for the sharding topology.
+            config = config.replace(shards=index.num_shards)
         return cls(database, config, index)
 
     # ------------------------------------------------------------------
@@ -258,6 +368,11 @@ class Engine:
         return self.index.measure
 
     @property
+    def is_sharded(self) -> bool:
+        """Whether the engine's index is partitioned across shards."""
+        return isinstance(self.index, ShardedFragmentIndex)
+
+    @property
     def strategy(self) -> SearchStrategy:
         """The configured search strategy (built lazily, then cached)."""
         if self._strategy is None:
@@ -266,19 +381,17 @@ class Engine:
             )
         return self._strategy
 
-    def make_strategy(self, name: str, **params) -> SearchStrategy:
-        """Build any registered strategy over this engine's database/index.
+    def _injected_strategy_params(
+        self, name: str, params: Dict[str, Any], verify_executor: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Fold the config's verification defaults into strategy params.
 
-        Convenient for cross-checks: ``engine.make_strategy("naive")``
-        returns the ground-truth scan over the same database and measure.
-        The config's ``verifier`` / ``verify_workers`` are applied unless
-        overridden in ``params``, so cross-check strategies verify with the
-        same subsystem (and share the index's distance cache) as the
-        configured one.  Third-party strategies whose constructors keep the
-        plain ``(database, measure, index=None)`` registry contract are
-        left alone — the defaults are only injected into strategies that
-        accept them (explicit ``params`` still fail loudly if unsupported).
+        Third-party strategies whose constructors keep the plain
+        ``(database, measure, index=None)`` registry contract are left
+        alone — the defaults are only injected into strategies that accept
+        them (explicit ``params`` still fail loudly if unsupported).
         """
+        params = dict(params)
         signature = inspect.signature(strategy_class(name).__init__)
         parameters = signature.parameters.values()
         takes_kwargs = any(
@@ -288,12 +401,145 @@ class Engine:
         for key, value in (
             ("verifier", self.config.verifier),
             ("verify_workers", self.config.verify_workers),
+            ("verify_executor", verify_executor or self.config.executor),
         ):
             if takes_kwargs or key in signature.parameters:
                 params.setdefault(key, value)
+        return params
+
+    def make_strategy(self, name: str, **params) -> SearchStrategy:
+        """Build any registered strategy over this engine's database/index.
+
+        Convenient for cross-checks: ``engine.make_strategy("naive")``
+        returns the ground-truth scan over the same database and measure.
+        The config's ``verifier`` / ``verify_workers`` / ``executor`` are
+        applied unless overridden in ``params``, so cross-check strategies
+        verify with the same subsystem (and share the index's distance
+        cache) as the configured one.  On a sharded engine the strategy is
+        built over the *merged* index view — it answers over the whole
+        database, exactly like a strategy over an unsharded index.
+        """
+        params = self._injected_strategy_params(name, params)
         return make_strategy(
             name, self.database, measure=self.measure, index=self.index, **params
         )
+
+    # ------------------------------------------------------------------
+    # sharded scatter-gather
+    # ------------------------------------------------------------------
+    def _shard_strategy_list(self) -> List[SearchStrategy]:
+        """Per-shard strategies (built lazily, then cached).
+
+        Each strategy pairs one shard's fragment index with a
+        :class:`~repro.index.ShardDatabaseView` restricted to the shard's
+        graph ids, so filtering, fallbacks, and verification are all
+        shard-local.  Verification inside a shard stays on the thread
+        executor — shard-level parallelism already saturates the pool, and
+        a process scatter must not spawn nested process pools.
+        """
+        if self._shard_strategies is None:
+            index: ShardedFragmentIndex = self.index
+            self._shard_strategies = [
+                make_strategy(
+                    self.config.strategy,
+                    ShardDatabaseView(self.database, index.num_shards, position),
+                    measure=shard.measure,
+                    index=shard,
+                    **self._injected_strategy_params(
+                        self.config.strategy,
+                        self.config.strategy_params,
+                        verify_executor="thread",
+                    ),
+                )
+                for position, shard in enumerate(index.shards)
+            ]
+        return self._shard_strategies
+
+    def _shard_payloads(
+        self,
+        queries: Sequence[LabeledGraph],
+        sigma: float,
+        verify_workers: Optional[int],
+    ) -> List[Dict[str, Any]]:
+        """Picklable per-shard task payloads for the process executor."""
+        index: ShardedFragmentIndex = self.index
+        return [
+            {
+                "strategy": self.config.strategy,
+                "strategy_params": self._injected_strategy_params(
+                    self.config.strategy,
+                    self.config.strategy_params,
+                    verify_executor="thread",
+                ),
+                "database": ShardDatabaseView(
+                    self.database, index.num_shards, position
+                ),
+                "index": shard,
+                "queries": list(queries),
+                "sigma": sigma,
+                "verify": self.config.verify,
+                "verify_workers": verify_workers,
+            }
+            for position, shard in enumerate(index.shards)
+        ]
+
+    def _scatter(
+        self,
+        queries: Sequence[LabeledGraph],
+        sigma: float,
+        verify_workers: Optional[int],
+        executor_name: str,
+    ) -> List[SearchResult]:
+        """Scatter the queries across every shard; gather merged results.
+
+        Every shard answers every query over its own partition; the
+        per-shard results merge into per-query global results
+        (:func:`repro.index.merge_search_results`) that are byte-identical
+        in answer ids and distances to an unsharded engine's.  The process
+        executor ships ``(shard index, database view)`` payloads and merges
+        the workers' counter deltas back into the sharded index's sink, so
+        :meth:`profile` sees the work wherever it ran.
+        """
+        index: ShardedFragmentIndex = self.index
+        num_shards = index.num_shards
+        if executor_name not in available_executors():
+            raise EngineConfigError(
+                f"unknown executor {executor_name!r}; "
+                f"available: {available_executors()}"
+            )
+        # Enumerate each query's fragments once, not once per shard: the
+        # result is shard-independent, and warming the shard caches here
+        # also ships into process-executor workers with the pickled shards.
+        index.prewarm_query_fragments(queries)
+        if executor_name == "process":
+            payloads = self._shard_payloads(queries, sigma, verify_workers)
+            pool = make_executor(
+                "process", workers=num_shards, counters=index.counters
+            )
+            per_shard = pool.map_counted(
+                _shard_batch_task, payloads, sink=index.counters
+            )
+        else:
+            strategies = self._shard_strategy_list()
+            verify = self.config.verify
+            pool = make_executor(
+                executor_name, workers=num_shards, counters=index.counters
+            )
+            per_shard = pool.map(
+                lambda strategy: _run_shard_queries(
+                    strategy, queries, sigma, verify, verify_workers
+                ),
+                strategies,
+            )
+        num_live = len(self.database)
+        return [
+            merge_search_results(
+                [per_shard[shard][position] for shard in range(num_shards)],
+                num_database_graphs=num_live,
+                num_shards=num_shards,
+            )
+            for position in range(len(queries))
+        ]
 
     def stats(self) -> Dict[str, Any]:
         """Return a JSON-friendly summary of the engine's components."""
@@ -314,6 +560,12 @@ class Engine:
         """
         counters = PerfCounters()
         counters.merge(self.index.counters)
+        if self.is_sharded:
+            # Per-shard work lands in each shard's own sink (serial/thread
+            # scatter) or is merged into the sharded sink from worker
+            # deltas (process scatter); fold all of it into one profile.
+            for shard in self.index.shards:
+                counters.merge(shard.counters)
         if (
             self._strategy is not None
             and self._strategy.counters is not self.index.counters
@@ -355,6 +607,7 @@ class Engine:
             self.index.add_graph(graph_id, graph)
             assigned.append(graph_id)
         self._strategy = None
+        self._shard_strategies = None
         return assigned
 
     def remove_graphs(self, graph_ids: Sequence[int]) -> int:
@@ -382,6 +635,7 @@ class Engine:
             ):
                 removed += self.index.remove_graph(graph_id)
         self._strategy = None
+        self._shard_strategies = None
         return removed
 
     # ------------------------------------------------------------------
@@ -409,44 +663,28 @@ class Engine:
         -------
         SearchResult
             Candidates, answers with exact distances, per-phase timings,
-            pruning report, and counter deltas.
+            pruning report, and counter deltas.  On a sharded engine the
+            query scatter-gathers across every shard (through the config's
+            executor) and the merged result is byte-identical in answer ids
+            and distances to an unsharded engine's.
         """
+        if self.is_sharded:
+            return self._scatter(
+                [query], sigma, verify_workers, self.config.executor
+            )[0]
         strategy = self.strategy
         if self.config.verify:
             return strategy.search(query, sigma, verify_workers=verify_workers)
         # Filter-only mode: report candidates without paying for
         # verification (the answer set is left empty on purpose).
-        before = strategy.counters.snapshot()
-        start = time.perf_counter()
-        if hasattr(strategy, "filter_candidates"):
-            # Keep the strategy's full pruning report — filter-only mode
-            # exists precisely to study it.
-            outcome = strategy.filter_candidates(query, sigma)
-            candidate_ids = outcome.candidate_ids
-            report = outcome.report
-        else:
-            candidate_ids = strategy.candidates(query, sigma)
-            report = PruningReport(
-                num_database_graphs=len(self.database),
-                num_candidates=len(candidate_ids),
-            )
-        prune_seconds = time.perf_counter() - start
-        return SearchResult(
-            sigma=sigma,
-            candidate_ids=list(candidate_ids),
-            answer_ids=[],
-            prune_seconds=prune_seconds,
-            report=report,
-            method=f"{strategy.name}(filter-only)",
-            counters=strategy.counters.delta(before),
-        )
+        return _filter_only_search(strategy, query, sigma)
 
     def search_many(
         self,
         queries: Sequence[LabeledGraph],
         sigma: float,
         workers: Optional[int] = None,
-        executor: str = "thread",
+        executor: Optional[str] = None,
         verify_workers: Optional[int] = None,
     ) -> BatchSearchResult:
         """Answer a batch of queries, optionally in a worker pool.
@@ -459,11 +697,17 @@ class Engine:
             Distance threshold shared by the whole batch.
         workers:
             Pool size.  ``None``, ``0`` or ``1`` runs the batch
-            sequentially in the calling thread.
+            sequentially in the calling thread.  Ignored on a sharded
+            engine, whose parallelism is one worker per shard.
         executor:
-            ``"thread"`` (default) shares the engine across a thread pool;
-            ``"process"`` pickles the engine into worker processes (worth
-            it only when verification dominates and queries are heavy).
+            ``"serial"`` runs in the calling thread; ``"thread"`` shares
+            the engine across a thread pool; ``"process"`` runs in worker
+            processes (the only executor that sidesteps the GIL for
+            pure-Python verification).  ``None`` picks the default:
+            ``"thread"`` on an unsharded engine, the config's ``executor``
+            on a sharded one.  On a sharded engine the pool runs one task
+            per shard (each covering the whole batch) instead of one task
+            per query slice.
         verify_workers:
             Worker-pool size for parallel candidate verification *within*
             each query (``None`` = the config default).  Composes with
@@ -476,11 +720,24 @@ class Engine:
             Per-query results in input order plus batch-level timing.
         """
         queries = list(queries)
-        if executor not in ("thread", "process"):
-            raise EngineConfigError(
-                f"executor must be 'thread' or 'process', got {executor!r}"
+        if self.is_sharded:
+            executor_name = executor or self.config.executor
+            start = time.perf_counter()
+            results = self._scatter(queries, sigma, verify_workers, executor_name)
+            return BatchSearchResult(
+                sigma=sigma,
+                results=results,
+                wall_seconds=time.perf_counter() - start,
+                workers=self.index.num_shards,
+                executor=executor_name,
             )
-        pool_size = int(workers or 0)
+        executor = executor or "thread"
+        if executor not in available_executors():
+            raise EngineConfigError(
+                f"unknown executor {executor!r}; "
+                f"available: {available_executors()}"
+            )
+        pool_size = 0 if executor == "serial" else int(workers or 0)
         start = time.perf_counter()
         if pool_size <= 1 or len(queries) <= 1:
             results = [
@@ -494,35 +751,29 @@ class Engine:
                 workers=1,
                 executor="sequential",
             )
-        if executor == "thread":
-            with ThreadPoolExecutor(max_workers=pool_size) as pool:
-                results = list(
-                    pool.map(
-                        lambda query: self.search(
-                            query, sigma, verify_workers=verify_workers
-                        ),
-                        queries,
-                    )
-                )
-        else:
+        if executor == "process":
             # One contiguous chunk per worker keeps engine pickling cost at
-            # O(workers) instead of O(queries).
+            # O(workers) instead of O(queries); the executor layer degrades
+            # to serial where process pools are unavailable.
             chunk_size = (len(queries) + pool_size - 1) // pool_size
             chunks = [
                 queries[position : position + chunk_size]
                 for position in range(0, len(queries), chunk_size)
             ]
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                chunk_results = list(
-                    pool.map(
-                        _search_chunk,
-                        [self] * len(chunks),
-                        chunks,
-                        [sigma] * len(chunks),
-                        [verify_workers] * len(chunks),
-                    )
-                )
+            pool = make_executor("process", workers=pool_size)
+            chunk_results = pool.map(
+                _search_chunk,
+                [(self, chunk, sigma, verify_workers) for chunk in chunks],
+            )
             results = [result for chunk in chunk_results for result in chunk]
+        else:
+            # "thread" and any other registered in-process executor share
+            # the engine directly, one task per query.
+            pool = make_executor(executor, workers=pool_size)
+            results = pool.map(
+                lambda query: self.search(query, sigma, verify_workers=verify_workers),
+                queries,
+            )
         return BatchSearchResult(
             sigma=sigma,
             results=results,
@@ -558,6 +809,13 @@ class Engine:
             raise SerializationError("not a serialized PIS engine")
         config = EngineConfig.from_dict(data.get("config", {}))
         index = index_from_dict(data.get("index", {}))
+        # The built index is the ground truth for the sharding topology; a
+        # hand-edited config cannot silently disagree with it.
+        if isinstance(index, ShardedFragmentIndex):
+            if config.shards != index.num_shards:
+                config = config.replace(shards=index.num_shards)
+        elif config.shards != 1:
+            config = config.replace(shards=1)
         # Compare identifier bounds, not live counts: a database that has
         # seen removals legitimately holds fewer live graphs than its id
         # bound, and the index tracks the same bound.

@@ -1,0 +1,324 @@
+"""Executor abstraction: serial / thread / process task execution.
+
+Several layers of the system fan work out over a pool — the sharded engine
+scatter-gathers one search per shard (:mod:`repro.index.sharded`), the
+bounded verifier spreads candidate verification (:mod:`repro.search.verify`),
+and the sharded build constructs whole shards in parallel.  This module
+gives all of them one small, registry-backed abstraction so the pool kind is
+a configuration choice (:attr:`repro.engine.EngineConfig.executor`) instead
+of an implementation detail:
+
+:class:`SerialExecutor` (``"serial"``)
+    Runs every task in the calling thread, in order.  The reference
+    executor: every other executor must produce the same results.
+
+:class:`ThreadExecutor` (``"thread"``)
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  Tasks share the
+    caller's objects (indexes, counters, caches), so nothing needs to be
+    picklable — but pure-Python CPU work stays GIL-bound.
+
+:class:`ProcessExecutor` (``"process"``)
+    A :class:`~concurrent.futures.ProcessPoolExecutor`.  The only executor
+    that achieves real CPU parallelism for pure-Python work; task functions
+    and payloads must be picklable (module-level functions, plain data).
+    When a pool cannot be created or a payload cannot be pickled, it
+    degrades to the serial path rather than failing the caller (mirroring
+    the parallel-build fallback of :class:`repro.index.FragmentIndex`).
+
+Results always come back in task order, whatever the executor, so callers
+can rely on deterministic merging.
+
+Counters cross process boundaries through :meth:`Executor.map_counted`:
+in-process executors let tasks report into shared
+:class:`~repro.perf.PerfCounters` sinks directly, while the process
+executor snapshots the worker-side :data:`~repro.perf.GLOBAL_COUNTERS`
+around each task and merges the deltas into the caller's sink, so
+``Engine.profile()`` sees the same accounting whichever executor ran the
+work.
+
+Examples
+--------
+>>> from repro.exec import available_executors, make_executor
+>>> available_executors()
+['process', 'serial', 'thread']
+>>> make_executor("serial").map(len, ["ab", "abc"])
+[2, 3]
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from .core.errors import EngineConfigError, UnknownComponentError
+from .perf import GLOBAL_COUNTERS, PerfCounters
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "register_executor",
+    "make_executor",
+    "available_executors",
+    "EXECUTOR_KINDS",
+]
+
+#: the built-in executor kinds, in increasing order of isolation
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+#: errors that mean "this platform or payload cannot run a process pool":
+#: sandboxes without fork/spawn support (OSError/RuntimeError/ValueError),
+#: unpicklable task functions or payloads (PicklingError/TypeError/
+#: AttributeError), and workers dying mid-flight (EOFError, BrokenProcessPool
+#: — a RuntimeError subclass).  Exceptions raised by the *task function*
+#: itself are never classified here: workers run tasks through
+#: :func:`_guarded_call`, which ships task exceptions back as values, so a
+#: task bug re-raises in the caller instead of silently triggering the
+#: serial fallback.
+PROCESS_POOL_ERRORS = (
+    OSError,
+    ValueError,
+    RuntimeError,
+    TypeError,
+    pickle.PicklingError,
+    AttributeError,
+    EOFError,
+)
+
+
+def _guarded_call(payload: Tuple[Callable[[Any], Any], Any]) -> Tuple[bool, Any]:
+    """Process-pool wrapper: return ``(True, value)`` or ``(False, exception)``.
+
+    Distinguishes task failures from pool failures: an exception raised by
+    the task function travels back as a value and is re-raised caller-side
+    with its original type, while genuine pool problems (fork failure,
+    unpicklable payloads, dead workers) still surface as raw exceptions for
+    :data:`PROCESS_POOL_ERRORS` to classify.
+    """
+    fn, item = payload
+    try:
+        return True, fn(item)
+    except Exception as exc:  # re-raised caller-side with its original type
+        return False, exc
+
+
+def _counted_call(
+    payload: Tuple[Callable[[Any], Any], Any]
+) -> Tuple[bool, Any, Dict[str, float]]:
+    """Like :func:`_guarded_call`, but also capture the task's counter delta.
+
+    Executed inside the worker process, where :data:`GLOBAL_COUNTERS` is the
+    worker's own process-wide sink; the delta therefore contains exactly the
+    counters this one task produced, ready to be merged into the parent's
+    sink by :meth:`ProcessExecutor.map_counted`.
+    """
+    before = GLOBAL_COUNTERS.snapshot()
+    ok, value = _guarded_call(payload)
+    return ok, value, GLOBAL_COUNTERS.delta(before)
+
+
+class Executor:
+    """Base class of the pluggable task executors.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``0`` (the default) sizes the pool to the number of
+        tasks; pools never exceed the task count.  Serial execution ignores
+        it.
+    counters:
+        Optional :class:`~repro.perf.PerfCounters` sink for executor-level
+        accounting (e.g. process-pool fallbacks); a private sink mirroring
+        the process-wide counters is created when omitted.
+    """
+
+    #: executor identifier used in registry lookups and configuration
+    name = "abstract"
+
+    def __init__(self, workers: int = 0, counters: Optional[PerfCounters] = None):
+        self.workers = int(workers or 0)
+        self.counters = (
+            counters
+            if isinstance(counters, PerfCounters)
+            else PerfCounters(mirror=GLOBAL_COUNTERS)
+        )
+
+    def _pool_size(self, num_tasks: int) -> int:
+        """Effective pool size for ``num_tasks`` tasks."""
+        if num_tasks <= 1:
+            return 1
+        return min(self.workers or num_tasks, num_tasks)
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Run ``fn`` over ``items``; results come back in item order."""
+        raise NotImplementedError
+
+    def map_counted(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        sink: Optional[PerfCounters] = None,
+    ) -> List[Any]:
+        """Like :meth:`map`, but task counters reach ``sink`` in every mode.
+
+        In-process executors run tasks against the caller's live counter
+        sinks already, so the base implementation is plain :meth:`map`;
+        the process executor overrides this to ship worker-side counter
+        deltas back and merge them into ``sink``.
+        """
+        return self.map(fn, items)
+
+
+class SerialExecutor(Executor):
+    """Run every task in the calling thread, in order (the reference)."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Run the tasks one after another in the calling thread."""
+        return [fn(item) for item in items]
+
+
+class ThreadExecutor(Executor):
+    """Run tasks in a thread pool sharing the caller's objects."""
+
+    name = "thread"
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Run the tasks in a thread pool; falls back to serial for <=1 task."""
+        items = list(items)
+        size = self._pool_size(len(items))
+        if size <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=size) as pool:
+            return list(pool.map(fn, items))
+
+
+class ProcessExecutor(Executor):
+    """Run tasks in worker processes (real CPU parallelism, pickled payloads)."""
+
+    name = "process"
+
+    def _pooled_outcomes(
+        self,
+        wrapper: Callable[[Tuple[Callable[[Any], Any], Any]], Any],
+        fn: Callable[[Any], Any],
+        items: List[Any],
+        size: int,
+    ) -> Optional[List[Any]]:
+        """Run ``wrapper((fn, item))`` tasks in a pool; ``None`` = pool failed.
+
+        The shared submit/fallback half of :meth:`map` and
+        :meth:`map_counted`: only *pool* failures (no process support,
+        unpicklable payloads, dead workers) return ``None`` — exceptions
+        the task function raises travel back inside the wrapper's outcome
+        and are re-raised by the caller with their original type.
+        """
+        try:
+            with ProcessPoolExecutor(max_workers=size) as pool:
+                return list(pool.map(wrapper, [(fn, item) for item in items]))
+        except PROCESS_POOL_ERRORS:
+            self.counters.increment("exec.process_fallbacks")
+            return None
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Run the tasks in a process pool, degrading to serial on failure."""
+        items = list(items)
+        size = self._pool_size(len(items))
+        if size <= 1:
+            return [fn(item) for item in items]
+        outcomes = self._pooled_outcomes(_guarded_call, fn, items, size)
+        if outcomes is None:
+            return [fn(item) for item in items]
+        values: List[Any] = []
+        for ok, value in outcomes:
+            if not ok:
+                raise value
+            values.append(value)
+        return values
+
+    def map_counted(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        sink: Optional[PerfCounters] = None,
+    ) -> List[Any]:
+        """Run tasks in worker processes and merge their counter deltas.
+
+        Each task is wrapped so the worker returns its value plus a counter
+        delta; the deltas are merged into ``sink`` in task order (even for
+        tasks that then turn out to have failed — partial work happened and
+        is accounted).  The serial fallback skips the wrapper entirely —
+        in-process work already reports into the caller's live sinks, and
+        merging a delta on top would count it twice.  Task exceptions
+        re-raise with their original type; only pool failures fall back.
+        """
+        items = list(items)
+        size = self._pool_size(len(items))
+        if size <= 1:
+            return [fn(item) for item in items]
+        outcomes = self._pooled_outcomes(_counted_call, fn, items, size)
+        if outcomes is None:
+            return [fn(item) for item in items]
+        failure: Optional[BaseException] = None
+        values: List[Any] = []
+        for ok, value, delta in outcomes:
+            if sink is not None:
+                sink.merge(delta)
+            if ok:
+                values.append(value)
+            elif failure is None:
+                failure = value
+        if failure is not None:
+            raise failure
+        return values
+
+
+# ----------------------------------------------------------------------
+# registry (mirrors repro.search.registry / repro.index.backends)
+# ----------------------------------------------------------------------
+_EXECUTORS: Dict[str, type] = {}
+
+
+def register_executor(cls: type) -> type:
+    """Register an executor class under its ``name`` attribute.
+
+    Usable as a decorator, exactly like
+    :func:`repro.search.register_strategy`; third-party executors become
+    reachable from :class:`repro.engine.EngineConfig` by name.
+    """
+    _EXECUTORS[cls.name] = cls
+    return cls
+
+
+def available_executors() -> List[str]:
+    """Return the names of all registered executors (sorted)."""
+    return sorted(_EXECUTORS)
+
+
+def make_executor(
+    name: str,
+    workers: int = 0,
+    counters: Optional[PerfCounters] = None,
+) -> Executor:
+    """Instantiate a registered executor by name.
+
+    Unknown names raise :class:`~repro.core.errors.UnknownComponentError`
+    listing the registered alternatives; invalid constructor parameters
+    surface as :class:`~repro.core.errors.EngineConfigError`.
+    """
+    if name not in _EXECUTORS:
+        raise UnknownComponentError("executor", name, _EXECUTORS)
+    try:
+        return _EXECUTORS[name](workers=workers, counters=counters)
+    except TypeError as exc:
+        raise EngineConfigError(
+            f"invalid parameters for executor {name!r}: {exc}"
+        ) from exc
+
+
+register_executor(SerialExecutor)
+register_executor(ThreadExecutor)
+register_executor(ProcessExecutor)

@@ -27,6 +27,7 @@ from ..core.distance import (
 from ..core.errors import SerializationError
 from ..core.graph import LabeledGraph
 from .fragment_index import FragmentIndex
+from .sharded import ShardedFragmentIndex
 
 __all__ = [
     "measure_to_dict",
@@ -36,6 +37,7 @@ __all__ = [
     "save_index",
     "load_index",
     "INDEX_SCHEMA_VERSION",
+    "SHARDED_INDEX_SCHEMA_VERSION",
     "SUPPORTED_INDEX_VERSIONS",
 ]
 
@@ -71,14 +73,45 @@ def measure_from_dict(data: Dict[str, Any]) -> DistanceMeasure:
 #: adds the incremental-update state: the retired (tombstoned) graph ids,
 #: the mutation generation counter, and per-class *per-graph* occurrence
 #: counts, so a reloaded index can keep mutating with exact statistics.
+#: A single (unsharded) index still serializes at this version.
 INDEX_SCHEMA_VERSION = 3
 
+#: schema version of a *sharded* index: a manifest (sharding topology) plus
+#: one version-3 payload per shard — embedded inline by
+#: :func:`index_to_dict` or split into per-shard files by
+#: :func:`save_index`.  Versions 1–3 keep loading as a single shard.
+SHARDED_INDEX_SCHEMA_VERSION = 4
+
 #: schema versions this loader understands
-SUPPORTED_INDEX_VERSIONS = (1, 2, 3)
+SUPPORTED_INDEX_VERSIONS = (1, 2, 3, 4)
 
 
-def index_to_dict(index: FragmentIndex) -> Dict[str, Any]:
-    """Serialize a built :class:`FragmentIndex` to a JSON-friendly dict."""
+def _sharded_manifest(index: ShardedFragmentIndex) -> Dict[str, Any]:
+    """The shard-independent header of a sharded-index document."""
+    return {
+        "format": "pis-fragment-index",
+        "version": SHARDED_INDEX_SCHEMA_VERSION,
+        "measure": measure_to_dict(index.measure),
+        "backend": index.backend_name,
+        "backend_options": dict(index.backend_options),
+        "num_graphs": index.num_graphs,
+        "sharding": {"num_shards": index.num_shards, "assignment": "modulo"},
+    }
+
+
+def index_to_dict(
+    index: Union[FragmentIndex, ShardedFragmentIndex]
+) -> Dict[str, Any]:
+    """Serialize a built index to a JSON-friendly dict.
+
+    A :class:`~repro.index.sharded.ShardedFragmentIndex` serializes as a
+    version-4 manifest with one embedded version-3 payload per shard; a
+    plain :class:`FragmentIndex` keeps the version-3 single-index schema.
+    """
+    if isinstance(index, ShardedFragmentIndex):
+        manifest = _sharded_manifest(index)
+        manifest["shards"] = [index_to_dict(shard) for shard in index.shards]
+        return manifest
     classes = []
     for class_index in index.classes():
         grouped: Dict[Any, list] = {}
@@ -93,10 +126,18 @@ def index_to_dict(index: FragmentIndex) -> Dict[str, Any]:
                     [graph_id, occurrences[graph_id]]
                     for graph_id in sorted(occurrences)
                 ],
-                "entries": [
-                    {"sequence": list(sequence), "graph_ids": sorted(graph_ids)}
-                    for sequence, graph_ids in grouped.items()
-                ],
+                # Entries are written in a canonical (sorted) order, not the
+                # backend's insertion order: insertion order is sensitive to
+                # set-iteration details that a pickle round-trip can change,
+                # and a canonical form lets serially and parallel-built
+                # indexes of identical content serialize byte-identically.
+                "entries": sorted(
+                    (
+                        {"sequence": list(sequence), "graph_ids": sorted(graph_ids)}
+                        for sequence, graph_ids in grouped.items()
+                    ),
+                    key=lambda entry: repr(entry["sequence"]),
+                ),
             }
         )
     return {
@@ -112,14 +153,19 @@ def index_to_dict(index: FragmentIndex) -> Dict[str, Any]:
     }
 
 
-def index_from_dict(data: Dict[str, Any], strict: bool = False) -> FragmentIndex:
-    """Rebuild a :class:`FragmentIndex` from :func:`index_to_dict` output.
+def index_from_dict(
+    data: Dict[str, Any], strict: bool = False
+) -> Union[FragmentIndex, ShardedFragmentIndex]:
+    """Rebuild an index from :func:`index_to_dict` output.
 
     Accepts every schema version in :data:`SUPPORTED_INDEX_VERSIONS`;
     version-2 files restore exact per-class occurrence counts, version-1
     files keep their historical behaviour (occurrences == entries), and
     version-3 files additionally restore the incremental-update state
     (retired graph ids, generation counter, per-graph occurrence counts).
+    Version-4 manifests with embedded shard payloads rebuild a
+    :class:`~repro.index.sharded.ShardedFragmentIndex`; versions 1–3 load
+    as a single (unsharded) index exactly as before.
 
     A file with *no* ``version`` field is suspicious — it is what a
     truncated or hand-mangled dump looks like — so it triggers a
@@ -141,6 +187,17 @@ def index_from_dict(data: Dict[str, Any], strict: bool = False) -> FragmentIndex
         raise SerializationError(
             f"unsupported index schema version {version!r}; "
             f"supported: {list(SUPPORTED_INDEX_VERSIONS)}"
+        )
+    if version == SHARDED_INDEX_SCHEMA_VERSION:
+        shard_payloads = data.get("shards")
+        if not shard_payloads:
+            raise SerializationError(
+                "sharded index manifest embeds no shard payloads; manifests "
+                "that reference per-shard files must be loaded with "
+                "load_index (which resolves the files)"
+            )
+        return ShardedFragmentIndex(
+            [index_from_dict(payload, strict=strict) for payload in shard_payloads]
         )
     measure = measure_from_dict(data.get("measure", {}))
     index = FragmentIndex(
@@ -172,26 +229,73 @@ def index_from_dict(data: Dict[str, Any], strict: bool = False) -> FragmentIndex
     return index
 
 
-def save_index(index: FragmentIndex, path: Union[str, Path]) -> None:
-    """Write a fragment index to a JSON file."""
+def save_index(
+    index: Union[FragmentIndex, ShardedFragmentIndex], path: Union[str, Path]
+) -> None:
+    """Write an index to JSON: one file, or a manifest plus per-shard files.
+
+    A plain :class:`FragmentIndex` writes a single version-3 document.  A
+    :class:`~repro.index.sharded.ShardedFragmentIndex` writes a version-4
+    *manifest* at ``path`` that names one payload file per shard
+    (``<stem>.shard<K>.json``, written next to the manifest), so shards can
+    be inspected, copied, or re-hosted independently; :func:`load_index`
+    resolves the shard files relative to the manifest.
+    """
+    path = Path(path)
     try:
-        Path(path).write_text(json.dumps(index_to_dict(index)), encoding="utf-8")
+        if isinstance(index, ShardedFragmentIndex):
+            manifest = _sharded_manifest(index)
+            shard_files = []
+            for position, shard in enumerate(index.shards):
+                shard_name = f"{path.stem}.shard{position}{path.suffix or '.json'}"
+                (path.parent / shard_name).write_text(
+                    json.dumps(index_to_dict(shard)), encoding="utf-8"
+                )
+                shard_files.append(shard_name)
+            manifest["shard_files"] = shard_files
+            path.write_text(json.dumps(manifest), encoding="utf-8")
+            return
+        path.write_text(json.dumps(index_to_dict(index)), encoding="utf-8")
+    except OSError as exc:
+        raise SerializationError(f"cannot write index to {path}: {exc}") from exc
     except TypeError as exc:
         raise SerializationError(
             f"index contains annotations that are not JSON-serializable: {exc}"
         ) from exc
 
 
-def load_index(path: Union[str, Path], strict: bool = False) -> FragmentIndex:
-    """Load a fragment index previously written by :func:`save_index`.
+def load_index(
+    path: Union[str, Path], strict: bool = False
+) -> Union[FragmentIndex, ShardedFragmentIndex]:
+    """Load an index previously written by :func:`save_index`.
 
-    ``strict=True`` turns the missing-``version`` warning of
-    :func:`index_from_dict` into a :class:`SerializationError`, so
-    pipelines that must not guess about corrupt files can opt out of the
-    lenient default.
+    Version-4 sharded manifests resolve their per-shard payload files
+    relative to the manifest's directory (embedded-shard manifests load
+    directly); versions 1–3 load as a single index.  ``strict=True`` turns
+    the missing-``version`` warning of :func:`index_from_dict` into a
+    :class:`SerializationError`, so pipelines that must not guess about
+    corrupt files can opt out of the lenient default.
     """
+    path = Path(path)
     try:
-        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        data = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
         raise SerializationError(f"cannot load index from {path}: {exc}") from exc
+    if (
+        isinstance(data, dict)
+        and data.get("version") == SHARDED_INDEX_SCHEMA_VERSION
+        and "shard_files" in data
+    ):
+        shards = []
+        for shard_name in data["shard_files"]:
+            shard_path = path.parent / shard_name
+            try:
+                shard_data = json.loads(shard_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                raise SerializationError(
+                    f"cannot load shard payload {shard_path} referenced by "
+                    f"manifest {path}: {exc}"
+                ) from exc
+            shards.append(index_from_dict(shard_data, strict=strict))
+        return ShardedFragmentIndex(shards)
     return index_from_dict(data, strict=strict)

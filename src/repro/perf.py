@@ -97,11 +97,19 @@ class PerfCounters:
             self.add_time(name, time.perf_counter() - start)
 
     def merge(self, other: Mapping[str, float]) -> None:
-        """Add every counter of ``other`` (a mapping or another instance)."""
+        """Add every counter of ``other`` (a mapping or another instance).
+
+        Merges propagate into the mirror like every other update, so a
+        component sink that absorbs a worker-process counter delta (see
+        :meth:`repro.exec.ProcessExecutor.map_counted`) keeps
+        :data:`GLOBAL_COUNTERS` in step with in-process execution.
+        """
         values = other.snapshot() if isinstance(other, PerfCounters) else dict(other)
         with self._lock:
             for name, amount in values.items():
                 self._values[name] = self._values.get(name, 0.0) + amount
+        if self._mirror is not None:
+            self._mirror.merge(values)
 
     def reset(self) -> None:
         """Drop every counter."""

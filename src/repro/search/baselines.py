@@ -63,6 +63,7 @@ class TopoPruneSearch(SearchStrategy):
         index: Optional[FragmentIndex] = None,
         verifier: str = AUTO_VERIFIER,
         verify_workers: int = 0,
+        verify_executor: str = "thread",
     ):
         if isinstance(database, FragmentIndex):
             # Legacy calling convention: TopoPruneSearch(index, database).
@@ -78,6 +79,7 @@ class TopoPruneSearch(SearchStrategy):
             index=index,
             verifier=verifier,
             verify_workers=verify_workers,
+            verify_executor=verify_executor,
         )
 
     def candidates(self, query: LabeledGraph, sigma: float) -> List[int]:

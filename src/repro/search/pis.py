@@ -85,8 +85,11 @@ class PISearch(SearchStrategy):
         Registry name of the candidate verifier (``"auto"`` resolves to the
         optimized bounded verifier; see :mod:`repro.search.verify`).
     verify_workers:
-        Default thread-pool size for parallel candidate verification
+        Default worker-pool size for parallel candidate verification
         (``0`` = serial).
+    verify_executor:
+        :mod:`repro.exec` executor kind for the verification pool
+        (``"thread"``, ``"process"``, ``"serial"``).
     """
 
     name = "pis"
@@ -103,6 +106,7 @@ class PISearch(SearchStrategy):
         partition_k: int = 2,
         verifier: str = AUTO_VERIFIER,
         verify_workers: int = 0,
+        verify_executor: str = "thread",
     ):
         if isinstance(database, FragmentIndex):
             # Legacy calling convention: PISearch(index, database).  A third
@@ -125,6 +129,7 @@ class PISearch(SearchStrategy):
             index=index,
             verifier=verifier,
             verify_workers=verify_workers,
+            verify_executor=verify_executor,
         )
         self.epsilon = epsilon
         self.cutoff_lambda = cutoff_lambda

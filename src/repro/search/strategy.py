@@ -48,8 +48,12 @@ class SearchStrategy:
         ``"legacy"``, or any :func:`repro.search.register_verifier` name).
         ``"auto"`` resolves to the optimized default.
     verify_workers:
-        Default thread-pool size for parallel candidate verification
+        Default worker-pool size for parallel candidate verification
         (``0`` = serial); :meth:`search` accepts a per-call override.
+    verify_executor:
+        :mod:`repro.exec` executor kind for the verification pool:
+        ``"thread"`` (default), ``"process"`` for GIL-free parallel
+        verification, or ``"serial"``.
     """
 
     #: strategy identifier used in reports and registry lookups
@@ -65,6 +69,7 @@ class SearchStrategy:
         index=None,
         verifier: str = AUTO_VERIFIER,
         verify_workers: int = 0,
+        verify_executor: str = "thread",
     ):
         if measure is None and index is not None:
             measure = index.measure
@@ -77,6 +82,7 @@ class SearchStrategy:
         self.index = index
         self.verifier_name = verifier
         self.verify_workers = int(verify_workers or 0)
+        self.verify_executor = verify_executor
         # Index-backed strategies share the index's counter sink so that
         # filtering and verification report into one place; index-free
         # baselines own a private sink.
@@ -156,6 +162,7 @@ class SearchStrategy:
                 counters=self.counters,
                 distance_cache=self._distance_cache(),
                 workers=self.verify_workers,
+                executor=self.verify_executor,
             )
         return self._verifiers[resolved]
 

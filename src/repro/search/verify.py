@@ -40,13 +40,15 @@ search strategies in :mod:`repro.search.registry`:
       graph id is removed and later reused for a different graph, its
       revision changes and the old entry can never be served again;
     * **parallelism** — ``workers=N`` fans candidate verification out over a
-      thread pool, with results merged back in deterministic candidate
-      order.  Caveat: the distance computation is pure-Python CPU work, so
-      under the GIL threads add overhead rather than speed; the knob pays
-      off only when the per-candidate work releases the GIL (a future
-      C-accelerated search, I/O-backed databases) and exists today as the
-      wiring for that.  For wall-clock gains now, use the process-based
-      batch executor (``Engine.search_many(executor="process")``).
+      :mod:`repro.exec` executor, with results merged back in deterministic
+      candidate order.  The pool kind is the ``executor`` constructor
+      parameter: ``"thread"`` (the default) shares the caller's caches but
+      is GIL-bound for pure-Python distance computation, while
+      ``"process"`` ships candidate chunks to worker processes — the parent
+      resolves memo-cache hits first, only cache misses travel, and the
+      computed distances are cached on return — giving true parallel
+      verification at the cost of pickling the query and the candidate
+      graphs.  ``"serial"`` disables the pool regardless of ``workers``.
 
 Both verifiers return answers in the original candidate order, so every
 configuration — serial or parallel, cached or cold — produces byte-identical
@@ -66,7 +68,7 @@ Examples
 from __future__ import annotations
 
 import hashlib
-from concurrent.futures import ThreadPoolExecutor
+import inspect
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.database import GraphDatabase
@@ -74,6 +76,7 @@ from ..core.distance import DistanceMeasure
 from ..core.errors import EngineConfigError, UnknownComponentError
 from ..core.graph import LabeledGraph
 from ..core.superimposed import INFINITE_DISTANCE, best_superposition
+from ..exec import make_executor
 from .. import perf
 from ..perf import GLOBAL_COUNTERS, MemoCache, PerfCounters, graph_signature
 
@@ -133,6 +136,34 @@ def query_cache_key(query: LabeledGraph, measure: DistanceMeasure) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def _verify_chunk_task(payload: Tuple) -> List[Tuple[int, float, int, int]]:
+    """Process-pool task: verify one chunk of candidates exactly.
+
+    The payload carries everything a worker needs — the query, the measure,
+    the threshold, and ``(graph_id, graph, lower_bound)`` triples — so the
+    task is self-contained and picklable.  Returns, per candidate,
+    ``(graph_id, exact_distance, superpositions_explored, early_exits)``;
+    the parent turns the raw distances into answers, caches them, and
+    accounts the work, so process-verified results are byte-identical to
+    (and accounted exactly like) serial verification.
+    """
+    query, measure, sigma, candidates = payload
+    outcomes: List[Tuple[int, float, int, int]] = []
+    for graph_id, graph, bound in candidates:
+        result = best_superposition(
+            query, graph, measure, threshold=sigma, known_lower_bound=bound
+        )
+        outcomes.append(
+            (
+                graph_id,
+                result.distance,
+                result.explored,
+                1 if result.early_exit else 0,
+            )
+        )
+    return outcomes
+
+
 class Verifier:
     """Base class of the pluggable candidate verifiers.
 
@@ -158,6 +189,11 @@ class Verifier:
     workers:
         Default worker-pool size for parallel verification (``0`` = serial);
         a per-call ``workers=`` argument overrides it.
+    executor:
+        :mod:`repro.exec` executor kind driving the worker pool:
+        ``"thread"`` (default), ``"process"`` for GIL-free verification, or
+        ``"serial"`` to pin verification to the calling thread.  Verifiers
+        that do not parallelize ignore it.
     """
 
     #: verifier identifier used in reports and registry lookups
@@ -170,6 +206,7 @@ class Verifier:
         counters: Optional[PerfCounters] = None,
         distance_cache: Optional[MemoCache] = None,
         workers: int = 0,
+        executor: str = "thread",
     ):
         self.database = database
         self.measure = measure
@@ -180,6 +217,7 @@ class Verifier:
         )
         self.distance_cache = distance_cache
         self.workers = int(workers or 0)
+        self.executor = executor
 
     def _graph_revision(self, graph_id: int) -> int:
         """Rebinding revision of ``graph_id`` in the database (0 if static).
@@ -297,6 +335,7 @@ class BoundedVerifier(Verifier):
         counters: Optional[PerfCounters] = None,
         distance_cache: Optional[MemoCache] = None,
         workers: int = 0,
+        executor: str = "thread",
     ):
         super().__init__(
             database,
@@ -304,6 +343,7 @@ class BoundedVerifier(Verifier):
             counters=counters,
             distance_cache=distance_cache,
             workers=workers,
+            executor=executor,
         )
         if self.distance_cache is None:
             # No index-shared cache (e.g. an index-free baseline strategy):
@@ -371,20 +411,27 @@ class BoundedVerifier(Verifier):
                 if perf.optimizations_enabled("caches")
                 else None
             )
-            if (
+            parallel = (
                 pool_size > 1
                 and len(ordered) > 1
+                and self.executor != "serial"
                 and perf.optimizations_enabled("parallel")
-            ):
-                with ThreadPoolExecutor(max_workers=pool_size) as pool:
-                    outcomes = list(
-                        pool.map(
-                            lambda graph_id: self._verify_one(
-                                query, query_key, graph_id, sigma, bounds.get(graph_id)
-                            ),
-                            ordered,
-                        )
-                    )
+            )
+            if parallel and self.executor == "process":
+                outcomes = self._verify_process(
+                    query, query_key, ordered, sigma, bounds, pool_size
+                )
+                self.counters.increment("verify.parallel_batches")
+            elif parallel:
+                pool = make_executor(
+                    self.executor, workers=pool_size, counters=self.counters
+                )
+                outcomes = pool.map(
+                    lambda graph_id: self._verify_one(
+                        query, query_key, graph_id, sigma, bounds.get(graph_id)
+                    ),
+                    ordered,
+                )
                 self.counters.increment("verify.parallel_batches")
             else:
                 outcomes = [
@@ -410,6 +457,42 @@ class BoundedVerifier(Verifier):
         self.counters.increment("verify.early_exits", sum(o[2] for o in outcomes))
         return answers, distances
 
+    def _cache_key(
+        self, query_key: Optional[str], graph_id: int
+    ) -> Optional[Tuple[str, Any, int]]:
+        """Distance-cache key of one candidate, or ``None`` when caching is off."""
+        if query_key is None or self.distance_cache is None:
+            return None
+        return (query_key, graph_id, self._graph_revision(graph_id))
+
+    def _cached_outcome(
+        self, cache_key: Optional[Tuple[str, Any, int]], sigma: float
+    ) -> Optional[Tuple[Optional[float], int, int]]:
+        """Resolve one candidate from the distance cache, if possible.
+
+        Returns the outcome triple when the cache decides the candidate, or
+        ``None`` when a distance computation is needed (miss, or an entry
+        cached only as "> threshold" at a smaller threshold — the refresh
+        case, which is also accounted here).
+        """
+        if cache_key is None:
+            return None
+        entry = self.distance_cache.get(cache_key)
+        if entry is MemoCache.MISS:
+            return None
+        distance, threshold = entry
+        if distance != INFINITE_DISTANCE:
+            # Finite cached distances are exact minima.
+            return (distance if distance <= sigma else None, 0, 0)
+        if sigma <= threshold:
+            # The true distance exceeds the cached threshold, which
+            # already covers this sigma.
+            return (None, 0, 0)
+        # Cached only as "> threshold" — recompute with the larger
+        # threshold and refresh the entry.
+        self.counters.increment("verify.cache_refreshes")
+        return None
+
     def _verify_one(
         self,
         query: LabeledGraph,
@@ -424,22 +507,10 @@ class BoundedVerifier(Verifier):
         within ``sigma`` and ``None`` otherwise.  Thread-safe: the memo
         cache takes its own lock and everything else is local.
         """
-        cache_key: Optional[Tuple[str, Any, int]] = None
-        if query_key is not None and self.distance_cache is not None:
-            cache_key = (query_key, graph_id, self._graph_revision(graph_id))
-            entry = self.distance_cache.get(cache_key)
-            if entry is not MemoCache.MISS:
-                distance, threshold = entry
-                if distance != INFINITE_DISTANCE:
-                    # Finite cached distances are exact minima.
-                    return (distance if distance <= sigma else None, 0, 0)
-                if sigma <= threshold:
-                    # The true distance exceeds the cached threshold, which
-                    # already covers this sigma.
-                    return (None, 0, 0)
-                # Cached only as "> threshold" — recompute with the larger
-                # threshold and refresh the entry below.
-                self.counters.increment("verify.cache_refreshes")
+        cache_key = self._cache_key(query_key, graph_id)
+        cached = self._cached_outcome(cache_key, sigma)
+        if cached is not None:
+            return cached
         result = best_superposition(
             query,
             self.database[graph_id],
@@ -454,6 +525,62 @@ class BoundedVerifier(Verifier):
             result.explored,
             1 if result.early_exit else 0,
         )
+
+    def _verify_process(
+        self,
+        query: LabeledGraph,
+        query_key: Optional[str],
+        ordered: Sequence[int],
+        sigma: float,
+        bounds: Mapping[int, float],
+        pool_size: int,
+    ) -> List[Tuple[Optional[float], int, int]]:
+        """Verify the ordered candidates in worker processes.
+
+        The memo cache stays parent-side: cache hits are resolved before
+        dispatch, only misses ship to the workers (chunked so each worker
+        gets one contiguous slice), and the computed exact distances are
+        cached on return — so a process-verified query warms the same cache
+        a serial one would, byte for byte.
+        """
+        outcomes: Dict[int, Tuple[Optional[float], int, int]] = {}
+        pending: List[int] = []
+        for graph_id in ordered:
+            cached = self._cached_outcome(self._cache_key(query_key, graph_id), sigma)
+            if cached is not None:
+                outcomes[graph_id] = cached
+            else:
+                pending.append(graph_id)
+        if pending:
+            chunk_size = max(1, (len(pending) + pool_size - 1) // pool_size)
+            payloads = []
+            for position in range(0, len(pending), chunk_size):
+                chunk = pending[position : position + chunk_size]
+                payloads.append(
+                    (
+                        query,
+                        self.measure,
+                        sigma,
+                        [
+                            (graph_id, self.database[graph_id], bounds.get(graph_id))
+                            for graph_id in chunk
+                        ],
+                    )
+                )
+            pool = make_executor(
+                "process", workers=pool_size, counters=self.counters
+            )
+            for chunk_outcomes in pool.map(_verify_chunk_task, payloads):
+                for graph_id, distance, explored, early in chunk_outcomes:
+                    cache_key = self._cache_key(query_key, graph_id)
+                    if cache_key is not None:
+                        self.distance_cache.put(cache_key, (distance, sigma))
+                    outcomes[graph_id] = (
+                        distance if distance <= sigma else None,
+                        explored,
+                        early,
+                    )
+        return [outcomes[graph_id] for graph_id in ordered]
 
 
 # ----------------------------------------------------------------------
@@ -490,6 +617,7 @@ def make_verifier(
     counters: Optional[PerfCounters] = None,
     distance_cache: Optional[MemoCache] = None,
     workers: int = 0,
+    executor: str = "thread",
 ) -> Verifier:
     """Instantiate a registered verifier by name.
 
@@ -502,14 +630,21 @@ def make_verifier(
     if resolved not in _VERIFIERS:
         raise UnknownComponentError("verifier", resolved, _VERIFIERS)
     cls = _VERIFIERS[resolved]
+    kwargs: Dict[str, Any] = {
+        "counters": counters,
+        "distance_cache": distance_cache,
+        "workers": workers,
+    }
+    # Third-party verifiers written before the executor layer keep working:
+    # the executor kind is passed only to constructors that accept it.
+    signature = inspect.signature(cls.__init__)
+    if "executor" in signature.parameters or any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in signature.parameters.values()
+    ):
+        kwargs["executor"] = executor
     try:
-        return cls(
-            database,
-            measure,
-            counters=counters,
-            distance_cache=distance_cache,
-            workers=workers,
-        )
+        return cls(database, measure, **kwargs)
     except TypeError as exc:
         raise EngineConfigError(
             f"invalid parameters for verifier {resolved!r}: {exc}"
