@@ -35,11 +35,21 @@ enforced only on machines with at least 2 CPU cores — a single-core runner
 cannot exhibit process parallelism — but the byte-identity requirements
 hold everywhere.
 
+A **serving workload** (PR 6) protects the always-on serving subsystem:
+``serving_throughput`` starts the engine in resident mode behind an
+in-process :class:`repro.serve.QueryServer` and drives it with 4 concurrent
+clients, twice — a **cold** pass (every query computed) and a **warm** pass
+replaying the same queries against the generation-keyed result cache.  Both
+passes must answer byte-identically to direct uncached ``Engine.search``
+calls, and the warm pass must be at least ``--min-serving-speedup``
+(default 5×) faster than the cold one.  A cache hit needs no parallel
+hardware, so this floor is enforced on every machine.
+
 It asserts the two paths return **identical candidate sets** (filter
-workloads) and **identical answer ids and distances** (verify, update, and
-sharding workloads), records the speedups plus counter deltas into the
-``gate`` section of ``benchmarks/history/BENCH_pr5.json``, and exits
-non-zero when
+workloads) and **identical answer ids and distances** (verify, update,
+sharding, and serving workloads), records the speedups plus counter deltas
+into the ``gate`` section of ``benchmarks/history/BENCH_pr6.json``, and
+exits non-zero when
 
 * candidate sets or answer sets differ between the paths,
 * the pruning-cost speedup is below ``--min-speedup`` (default 1.5×),
@@ -47,6 +57,7 @@ non-zero when
   1.5×),
 * the incremental-update speedup over a rebuild is below
   ``--min-update-speedup`` (default 2×),
+* the warm-over-cold serving speedup is below ``--min-serving-speedup``,
 * a sharding floor is violated on a multi-core machine, or
 * any workload regresses more than ``--tolerance`` (default 20%) against
   the checked-in baseline (``--check-baseline benchmarks/BENCH_baseline.json``).
@@ -58,6 +69,7 @@ Usage::
 """
 
 import argparse
+import asyncio
 import copy
 import hashlib
 import json
@@ -82,6 +94,7 @@ from repro.index.persistence import index_to_dict  # noqa: E402
 from repro.index.sharded import ShardedFragmentIndex  # noqa: E402
 from repro.perf import GLOBAL_COUNTERS, optimizations_disabled  # noqa: E402
 from repro.search.pis import PISearch  # noqa: E402
+from repro.serve import QueryServer  # noqa: E402
 
 import bench_common  # noqa: E402
 from bench_common import full_bench_config, quick_bench_config  # noqa: E402
@@ -104,6 +117,9 @@ SHARDED_WORKLOAD = ("sharded_search", 24, (1.0, 3.0, 5.0), 4)
 
 #: the sharded-build workload: (name, shard count)
 SHARDED_BUILD_WORKLOAD = ("sharded_build", 4)
+
+#: the serving workload: (name, query edges, sigma, concurrent clients)
+SERVING_WORKLOAD = ("serving_throughput", 16, 2.0, 4)
 
 #: workloads whose *speedup* floors need real parallel hardware; their
 #: byte-identity checks are enforced everywhere regardless
@@ -425,6 +441,89 @@ def run_sharded_build_workload(environment, name, num_shards):
     return record
 
 
+def run_serving_workload(environment, name, query_edges, sigma, clients):
+    """Measure the serving front door: cold compute vs warm result cache.
+
+    An engine over the environment's index is started in resident mode
+    behind an in-process :class:`repro.serve.QueryServer`; ``clients``
+    concurrent client tasks each submit a disjoint slice of the query set
+    (so the cold pass computes every query exactly once), then replay the
+    identical slice in a warm pass that is answered entirely from the
+    generation-keyed result cache.  Both passes must be byte-identical —
+    answer ids and exact distances — to direct uncached ``Engine.search``
+    calls, and the warm pass must beat the cold one by the gate's
+    ``--min-serving-speedup``.  The floor is hardware-independent: a cache
+    hit is an O(1) lookup, not a parallel computation.
+    """
+    queries = environment.workload.sample_queries(
+        num_edges=query_edges, count=environment.config.queries_per_set
+    )
+    engine = Engine.from_index(environment.database, environment.index)
+
+    _clear_caches(environment)
+    reference = _answers_payload([engine.search(query, sigma) for query in queries])
+
+    # Disjoint per-client slices: every cold submit is a cache miss, every
+    # warm submit a hit, so the speedup measures exactly the cached path.
+    slices = [queries[position::clients] for position in range(clients)]
+
+    async def drive(server):
+        async def one_client(slice_):
+            return [await server.submit(query, sigma) for query in slice_]
+
+        start = time.perf_counter()
+        gathered = await asyncio.gather(
+            *(one_client(slice_) for slice_ in slices)
+        )
+        elapsed = time.perf_counter() - start
+        # Re-interleave the slices back into query order.
+        results = [None] * len(queries)
+        for offset, chunk in enumerate(gathered):
+            for position, result in enumerate(chunk):
+                results[offset + position * clients] = result
+        return elapsed, results
+
+    async def run():
+        server = QueryServer(engine, batch_window_ms=1.0)
+        async with server:
+            _clear_caches(environment)
+            cold_seconds, cold_results = await drive(server)
+            warm_seconds, warm_results = await drive(server)
+            counters = server.counters.as_dict()
+        return cold_seconds, cold_results, warm_seconds, warm_results, counters
+
+    cold_seconds, cold_results, warm_seconds, warm_results, counters = (
+        asyncio.run(run())
+    )
+    cold_answers = _answers_payload(cold_results)
+    warm_answers = _answers_payload(warm_results)
+    identical = cold_answers == reference and warm_answers == reference
+    all_cached = all(result.from_cache for result in warm_results)
+    blob = json.dumps(warm_answers).encode("utf-8")
+    record = {
+        "query_edges": query_edges,
+        "num_queries": len(queries),
+        "sigma": sigma,
+        "clients": clients,
+        "cpu_count": os.cpu_count() or 1,
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "cold_qps": round(len(queries) / max(cold_seconds, 1e-9), 3),
+        "warm_qps": round(len(queries) / max(warm_seconds, 1e-9), 3),
+        "speedup": round(cold_seconds / max(warm_seconds, 1e-9), 3),
+        "warm_all_cached": all_cached,
+        "answers_identical": identical,
+        "answers_sha256": hashlib.sha256(blob).hexdigest(),
+        "counters": {key: round(value, 6) for key, value in sorted(counters.items())},
+    }
+    print(
+        f"{name}: cold {cold_seconds:.3f}s, warm {warm_seconds:.3f}s over "
+        f"{clients} clients -> {record['speedup']:.2f}x speedup, "
+        f"identical={identical}, all-cached={all_cached}"
+    )
+    return record
+
+
 def run_workload(environment, name, query_edges, sigmas, rounds):
     """Measure one workload in legacy and optimized mode; return its record."""
     queries = environment.workload.sample_queries(
@@ -473,7 +572,7 @@ def main(argv=None) -> int:
         type=Path,
         default=None,
         help="benchmark JSON path (default: $PIS_BENCH_OUTPUT or "
-        "benchmarks/history/BENCH_pr5.json)",
+        "benchmarks/history/BENCH_pr6.json)",
     )
     parser.add_argument(
         "--min-speedup",
@@ -494,6 +593,14 @@ def main(argv=None) -> int:
         default=2.0,
         help="required incremental-vs-rebuild speedup on the "
         "incremental_update workload",
+    )
+    parser.add_argument(
+        "--min-serving-speedup",
+        type=float,
+        default=5.0,
+        help="required warm-cache over cold speedup on the "
+        "serving_throughput workload (enforced on every machine: a "
+        "result-cache hit needs no parallel hardware)",
     )
     parser.add_argument(
         "--min-sharded-speedup",
@@ -629,6 +736,28 @@ def main(argv=None) -> int:
                 f"{cpu_count}-core machine (measured "
                 f"{build_record['speedup']:.2f}x)"
             )
+
+    serving_name, serving_edges, serving_sigma, serving_clients = SERVING_WORKLOAD
+    serving_record = run_serving_workload(
+        environment, serving_name, serving_edges, serving_sigma, serving_clients
+    )
+    gate["workloads"][serving_name] = serving_record
+    if not serving_record["answers_identical"]:
+        failures.append(
+            f"{serving_name}: served answers differ from direct uncached "
+            "Engine.search"
+        )
+    if not serving_record["warm_all_cached"]:
+        failures.append(
+            f"{serving_name}: warm pass was not served entirely from the "
+            "result cache"
+        )
+    if serving_record["speedup"] < arguments.min_serving_speedup:
+        failures.append(
+            f"{serving_name}: warm-over-cold speedup "
+            f"{serving_record['speedup']:.2f}x is below the required "
+            f"{arguments.min_serving_speedup:.2f}x"
+        )
 
     pruning = gate["workloads"]["pruning_cost"]
     if pruning["speedup"] < arguments.min_speedup:

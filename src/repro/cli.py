@@ -23,6 +23,16 @@ Subcommands
     the engine and the (mutated) database are written back out.
 ``stats``
     Print database / index statistics.
+``serve``
+    Run the always-on query server (:mod:`repro.serve`): a TCP JSON-lines
+    front door that micro-batches concurrent queries over the engine's
+    resident worker pools and answers repeated queries from the
+    generation-keyed result cache.  ``--port 0`` binds an ephemeral port;
+    ``--port-file`` publishes the bound address for clients and CI.
+``bench-serve``
+    Drive a running server with N concurrent clients and report sustained
+    throughput; ``--engine`` cross-checks every response against a direct
+    (uncached) search and prints ``answers-identical=True/False``.
 ``experiments``
     Regenerate the EXPERIMENTS.md report (same as
     ``python -m repro.experiments.run_all``).
@@ -38,6 +48,10 @@ Example session::
     pis update --database db.json --engine engine.json \\
         --add delta.json --remove 3,17 \\
         --database-output db.json --engine-output engine.json
+    pis serve --database db.json --engine engine.json \\
+        --port 0 --port-file server.addr &
+    pis bench-serve --database db.json --engine engine.json \\
+        --port-file server.addr --clients 4 --rounds 3
 
 or, with a declarative engine config::
 
@@ -49,10 +63,14 @@ or, with a declarative engine config::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
+import signal
 import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .core.database import GraphDatabase
 from .core.errors import EngineConfigError, PISError
@@ -60,6 +78,7 @@ from .datasets.generator import generate_chemical_database
 from .datasets.queries import QueryWorkload
 from .engine import Engine, EngineConfig
 from .index.persistence import load_index, save_index
+from .serve import QueryServer, ServeClient
 
 __all__ = ["main", "build_parser"]
 
@@ -211,6 +230,101 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--database", type=Path, help="database JSON path")
     stats.add_argument("--index", type=Path, help="index JSON path")
     stats.add_argument("--engine", type=Path, help="engine JSON path")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the always-on query server (TCP JSON lines)"
+    )
+    serve.add_argument(
+        "--database", type=Path, required=True, help="database JSON path"
+    )
+    serve.add_argument(
+        "--engine",
+        type=Path,
+        help="saved engine JSON path (default: build a default engine "
+        "over the database at startup)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=9999,
+        help="bind port (0 picks an ephemeral port; see --port-file)",
+    )
+    serve.add_argument(
+        "--port-file",
+        type=Path,
+        help="write the bound 'host port' here once listening — the "
+        "readiness signal for clients started concurrently",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=None,
+        help="micro-batching window (default: the engine config's "
+        "serve_batch_window_ms)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        help="batch size cap (default: the engine config's serve_max_batch)",
+    )
+    serve.add_argument(
+        "--result-cache-size",
+        type=int,
+        default=None,
+        help="query-result cache capacity; 0 disables the cache "
+        "(default: the engine config's result_cache_size)",
+    )
+
+    bench_serve = subparsers.add_parser(
+        "bench-serve", help="drive a running query server with concurrent clients"
+    )
+    bench_serve.add_argument(
+        "--database", type=Path, required=True, help="database JSON path"
+    )
+    bench_serve.add_argument(
+        "--engine",
+        type=Path,
+        help="saved engine JSON; when given, every response is cross-checked "
+        "against a direct search and answers-identical is reported",
+    )
+    bench_serve.add_argument("--host", default="127.0.0.1", help="server address")
+    bench_serve.add_argument("--port", type=int, default=9999, help="server port")
+    bench_serve.add_argument(
+        "--port-file",
+        type=Path,
+        help="read the server address from a file written by "
+        "'pis serve --port-file' (overrides --host/--port)",
+    )
+    bench_serve.add_argument(
+        "--edges", type=int, default=12, help="query size (edges)"
+    )
+    bench_serve.add_argument(
+        "--count", type=int, default=8, help="number of distinct queries"
+    )
+    bench_serve.add_argument(
+        "--sigma", type=float, default=2.0, help="distance threshold"
+    )
+    bench_serve.add_argument(
+        "--seed", type=int, default=42, help="query sampling seed"
+    )
+    bench_serve.add_argument(
+        "--clients", type=int, default=4, help="concurrent client connections"
+    )
+    bench_serve.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="times each client replays its queries (round 2+ hits the "
+        "result cache)",
+    )
+    bench_serve.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=15.0,
+        help="how long to wait for the server to accept connections",
+    )
 
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the EXPERIMENTS.md report"
@@ -437,6 +551,140 @@ def _command_stats(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_engine(arguments: argparse.Namespace) -> Engine:
+    """Load (or build) the engine a serve-family command runs against."""
+    database = GraphDatabase.load(arguments.database)
+    if arguments.engine is not None:
+        return Engine.load(arguments.engine, database)
+    return Engine.build(database)
+
+
+def _command_serve(arguments: argparse.Namespace) -> int:
+    engine = _serve_engine(arguments)
+    if arguments.result_cache_size is not None:
+        engine.config = engine.config.replace(
+            result_cache_size=arguments.result_cache_size
+        )
+    server = QueryServer(
+        engine,
+        batch_window_ms=arguments.batch_window_ms,
+        max_batch=arguments.max_batch,
+    )
+
+    async def run() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without signal support: Ctrl-C raises
+
+        def ready(host: str, port: int) -> None:
+            print(f"serving on {host}:{port}", flush=True)
+            if arguments.port_file is not None:
+                arguments.port_file.write_text(f"{host} {port}\n", encoding="utf-8")
+
+        await server.serve_forever(
+            host=arguments.host, port=arguments.port, ready=ready, stop=stop
+        )
+
+    asyncio.run(run())
+    print("server stopped cleanly")
+    return 0
+
+
+def _resolve_server_address(arguments: argparse.Namespace) -> Tuple[str, int]:
+    """The server address: ``--port-file`` contents, else ``--host/--port``.
+
+    The port file doubles as a readiness handshake, so a missing or
+    still-empty file is polled for up to ``--connect-timeout`` seconds
+    before giving up.
+    """
+    if arguments.port_file is None:
+        return arguments.host, arguments.port
+    deadline = time.monotonic() + arguments.connect_timeout
+    while True:
+        try:
+            text = arguments.port_file.read_text(encoding="utf-8").strip()
+            if text:
+                host, port = text.split()
+                return host, int(port)
+        except (OSError, ValueError):
+            pass
+        if time.monotonic() >= deadline:
+            raise EngineConfigError(
+                f"no server address in {arguments.port_file} after "
+                f"{arguments.connect_timeout:.1f}s; is 'pis serve' running?"
+            )
+        time.sleep(0.05)
+
+
+def _command_bench_serve(arguments: argparse.Namespace) -> int:
+    host, port = _resolve_server_address(arguments)
+    database = GraphDatabase.load(arguments.database)
+    workload = QueryWorkload(database, seed=arguments.seed)
+    queries = workload.sample_queries(arguments.edges, arguments.count)
+    reference = None
+    if arguments.engine is not None:
+        reference_engine = Engine.load(arguments.engine, database)
+        reference = [
+            reference_engine.search(query, arguments.sigma) for query in queries
+        ]
+
+    # Round-robin the queries across the clients; every client replays its
+    # slice --rounds times over one long-lived connection, so round 2+
+    # measures the warm (result-cached) path.
+    assignments: List[List[Tuple[int, object]]] = [
+        [] for _ in range(arguments.clients)
+    ]
+    for position, query in enumerate(queries):
+        assignments[position % arguments.clients].append((position, query))
+
+    def client_task(slice_):
+        responses = []
+        with ServeClient(
+            host, port, connect_timeout=arguments.connect_timeout
+        ) as client:
+            for _ in range(arguments.rounds):
+                for position, query in slice_:
+                    responses.append(
+                        (position, client.search(query, arguments.sigma))
+                    )
+        return responses
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=arguments.clients) as pool:
+        responses = [
+            response
+            for chunk in pool.map(client_task, assignments)
+            for response in chunk
+        ]
+    elapsed = time.perf_counter() - start
+    cached = sum(1 for _, response in responses if response.get("cached"))
+    qps = len(responses) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"bench-serve: {len(responses)} requests from {arguments.clients} "
+        f"clients in {elapsed:.3f}s ({qps:.1f} qps, {cached} cached)"
+    )
+    if reference is not None:
+        identical = all(
+            response["answers"] == reference[position].answer_ids
+            and response["distances"]
+            == {
+                str(graph_id): distance
+                for graph_id, distance in reference[
+                    position
+                ].answer_distances.items()
+                if graph_id in reference[position].answer_ids
+            }
+            for position, response in responses
+        )
+        print(f"answers-identical={identical}")
+        return 0 if identical else 1
+    return 0
+
+
 def _command_experiments(arguments: argparse.Namespace) -> int:
     from .experiments.run_all import generate_report, quick_config
     from .experiments.config import paper_scaled_config
@@ -457,6 +705,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": _command_query,
         "update": _command_update,
         "stats": _command_stats,
+        "serve": _command_serve,
+        "bench-serve": _command_bench_serve,
         "experiments": _command_experiments,
     }
     try:

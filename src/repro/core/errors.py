@@ -25,6 +25,7 @@ __all__ = [
     "EngineError",
     "EngineConfigError",
     "UnknownComponentError",
+    "ServeError",
 ]
 
 
@@ -113,6 +114,10 @@ class EngineError(PISError):
 
 class EngineConfigError(EngineError, ValueError):
     """An engine configuration is malformed or inconsistent."""
+
+
+class ServeError(EngineError):
+    """Errors raised by the serving subsystem (:mod:`repro.serve`)."""
 
 
 class UnknownComponentError(EngineError, KeyError):

@@ -83,6 +83,21 @@ remove_graphs` (see :mod:`repro.index.backends`).  ``None`` keeps each
         ``"process"`` is the only kind that sidesteps the GIL for
         pure-Python CPU work; it requires picklable payloads and degrades
         to serial where process pools are unavailable.
+    result_cache_size:
+        Capacity of the serving-mode query-result cache
+        (:class:`repro.serve.QueryResultCache`), in results.  The cache
+        only exists on a *started* engine (:meth:`repro.engine.Engine.\
+start`); ``0`` disables it even there.  Entries are keyed by query
+        content, sigma, the engine fingerprint, and the index generation,
+        so a hit is always byte-identical to a fresh search.
+    serve_batch_window_ms:
+        Default micro-batching window of :class:`repro.serve.QueryServer`:
+        how long the server waits, after one query arrives, for more
+        concurrent queries to join the same ``search_many`` batch.  ``0``
+        batches only queries that are already queued.
+    serve_max_batch:
+        Default batch-size cap of the query server; a full batch
+        dispatches immediately without waiting out the window.
     """
 
     selector: str = "exhaustive"
@@ -98,6 +113,9 @@ remove_graphs` (see :mod:`repro.index.backends`).  ``None`` keeps each
     verify_workers: int = 0
     shards: int = 1
     executor: str = "thread"
+    result_cache_size: int = 1024
+    serve_batch_window_ms: float = 2.0
+    serve_max_batch: int = 32
 
     def __post_init__(self):
         if isinstance(self.shards, bool) or not isinstance(self.shards, int):
@@ -130,6 +148,36 @@ remove_graphs` (see :mod:`repro.index.backends`).  ``None`` keeps each
         if self.verify_workers < 0:
             raise EngineConfigError(
                 f"verify_workers must be >= 0, got {self.verify_workers}"
+            )
+        if isinstance(self.result_cache_size, bool) or not isinstance(
+            self.result_cache_size, int
+        ):
+            raise EngineConfigError(
+                f"result_cache_size must be an int >= 0, "
+                f"got {self.result_cache_size!r}"
+            )
+        if self.result_cache_size < 0:
+            raise EngineConfigError(
+                f"result_cache_size must be >= 0, got {self.result_cache_size}"
+            )
+        if (
+            isinstance(self.serve_batch_window_ms, bool)
+            or not isinstance(self.serve_batch_window_ms, (int, float))
+            or self.serve_batch_window_ms < 0
+        ):
+            raise EngineConfigError(
+                f"serve_batch_window_ms must be a number >= 0, "
+                f"got {self.serve_batch_window_ms!r}"
+            )
+        self.serve_batch_window_ms = float(self.serve_batch_window_ms)
+        if (
+            isinstance(self.serve_max_batch, bool)
+            or not isinstance(self.serve_max_batch, int)
+            or self.serve_max_batch < 1
+        ):
+            raise EngineConfigError(
+                f"serve_max_batch must be an int >= 1, "
+                f"got {self.serve_max_batch!r}"
             )
         for attribute in ("selector", "backend", "strategy", "executor"):
             value = getattr(self, attribute)
@@ -201,6 +249,9 @@ remove_graphs` (see :mod:`repro.index.backends`).  ``None`` keeps each
             "verify_workers": self.verify_workers,
             "shards": self.shards,
             "executor": self.executor,
+            "result_cache_size": self.result_cache_size,
+            "serve_batch_window_ms": self.serve_batch_window_ms,
+            "serve_max_batch": self.serve_max_batch,
         }
 
     @classmethod

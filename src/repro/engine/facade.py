@@ -12,6 +12,15 @@ answers, optionally in a worker pool, with per-query parallel candidate
 verification via ``verify_workers`` — and :meth:`Engine.save` /
 :meth:`Engine.load` round-trip the configuration and the built index
 together, so a reloaded engine answers every query identically.
+
+For serving, the engine has an explicit lifecycle: :meth:`Engine.start`
+(also entered via ``with engine:``) switches it into *resident* mode —
+executors become long-lived pools reused across every search and scatter
+(workers keep their warm per-shard caches), and a generation-keyed
+query-result cache (:mod:`repro.serve`) answers repeated queries in O(1),
+byte-identically to a fresh search.  :meth:`Engine.close` shuts the pools
+down and drops the cache; an engine that is never started behaves exactly
+as before, with per-call executors and no result cache.
 """
 
 from __future__ import annotations
@@ -27,7 +36,7 @@ from ..core.database import GraphDatabase
 from ..core.distance import DistanceMeasure
 from ..core.errors import EngineConfigError, EngineError, SerializationError
 from ..core.graph import LabeledGraph
-from ..exec import available_executors, make_executor
+from ..exec import Executor, available_executors, make_executor
 from ..index.fragment_index import FragmentIndex
 from ..index.persistence import index_from_dict, index_to_dict, measure_to_dict
 from ..index.sharded import (
@@ -41,6 +50,7 @@ from ..core.canonical import structure_code_cache
 from ..search.registry import make_strategy, strategy_class
 from ..search.results import PruningReport, SearchResult
 from ..search.strategy import SearchStrategy
+from ..serve.cache import QueryResultCache, engine_fingerprint
 from .config import EngineConfig
 
 __all__ = ["Engine", "BatchSearchResult"]
@@ -251,6 +261,9 @@ class Engine:
         self.database = database
         self.index = index
         self._strategy: Optional[SearchStrategy] = None
+        self._started = False
+        self._resident_executors: Dict[Tuple[str, int, bool], Executor] = {}
+        self._result_cache: Optional[QueryResultCache] = None
         self.config = config  # property setter validates
 
     @property
@@ -273,6 +286,124 @@ class Engine:
         self._config = value
         self._strategy = None
         self._shard_strategies: Optional[List[SearchStrategy]] = None
+        self._fingerprint: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # serving lifecycle (resident pools + result cache)
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether the engine is in resident (serving) mode."""
+        return self._started
+
+    @property
+    def result_cache(self) -> Optional[QueryResultCache]:
+        """The query-result cache (``None`` unless the engine is started)."""
+        return self._result_cache
+
+    def start(self, result_cache_size: Optional[int] = None) -> "Engine":
+        """Switch into resident mode: long-lived pools + result cache.
+
+        After ``start()``, every executor the engine needs (shard
+        scatter-gather, batched search) is created once, started, and
+        reused across calls — worker processes survive between queries and
+        keep their warm caches — and repeated queries are answered from a
+        bounded :class:`~repro.serve.QueryResultCache` keyed by query
+        content, sigma, the engine fingerprint, and the index generation
+        (so mutations can never serve stale answers).
+
+        ``result_cache_size`` overrides the config's ``result_cache_size``;
+        ``0`` starts resident pools without a result cache.  Idempotent;
+        also available as a context manager (``with engine: ...``), which
+        guarantees :meth:`close`.
+        """
+        if self._started:
+            return self
+        self._started = True
+        size = (
+            self.config.result_cache_size
+            if result_cache_size is None
+            else int(result_cache_size)
+        )
+        if size > 0:
+            self._result_cache = QueryResultCache(
+                size, counters=self.index.counters
+            )
+        return self
+
+    def close(self) -> None:
+        """Leave resident mode: shut down pools, drop the result cache.
+
+        Idempotent.  A closed engine keeps answering queries — it just
+        reverts to per-call executors and uncached searches.
+        """
+        for executor in self._resident_executors.values():
+            executor.close()
+        self._resident_executors.clear()
+        self._result_cache = None
+        self._started = False
+
+    def __enter__(self) -> "Engine":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _executor(
+        self,
+        name: str,
+        workers: int,
+        counters: Optional[PerfCounters] = None,
+    ) -> Executor:
+        """One executor for one parallel call site.
+
+        On a started engine this returns a *resident* executor — created
+        and started on first use, then reused by every later call with the
+        same shape, so worker processes persist across searches.  On an
+        unstarted engine it returns a fresh per-call executor, preserving
+        the classic batch behaviour.
+        """
+        if not self._started:
+            return make_executor(name, workers=workers, counters=counters)
+        key = (name, int(workers), counters is not None)
+        pool = self._resident_executors.get(key)
+        if pool is None:
+            pool = make_executor(name, workers=workers, counters=counters)
+            pool.start()
+            self._resident_executors[key] = pool
+        return pool
+
+    def serving_stats(self) -> Dict[str, Any]:
+        """JSON-friendly serving-side view of the engine state."""
+        return {
+            "started": self._started,
+            "num_graphs": len(self.database),
+            "index_generation": self.index.generation,
+            "shards": self.index.num_shards if self.is_sharded else 1,
+            "result_cache": (
+                self._result_cache.stats()
+                if self._result_cache is not None
+                else None
+            ),
+            "resident_executors": [
+                {"executor": name, "workers": workers}
+                for name, workers, _ in sorted(self._resident_executors)
+            ],
+        }
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Engines are pickled into process-executor workers; resident
+        # pools and the result cache are per-process resources and must
+        # not ride along (the Executor base also refuses to pickle live
+        # pools — this keeps the whole engine copy cold).
+        state = dict(self.__dict__)
+        state["_started"] = False
+        state["_resident_executors"] = {}
+        state["_result_cache"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # construction
@@ -513,8 +644,8 @@ class Engine:
         index.prewarm_query_fragments(queries)
         if executor_name == "process":
             payloads = self._shard_payloads(queries, sigma, verify_workers)
-            pool = make_executor(
-                "process", workers=num_shards, counters=index.counters
+            pool = self._executor(
+                "process", num_shards, counters=index.counters
             )
             per_shard = pool.map_counted(
                 _shard_batch_task, payloads, sink=index.counters
@@ -522,8 +653,8 @@ class Engine:
         else:
             strategies = self._shard_strategy_list()
             verify = self.config.verify
-            pool = make_executor(
-                executor_name, workers=num_shards, counters=index.counters
+            pool = self._executor(
+                executor_name, num_shards, counters=index.counters
             )
             per_shard = pool.map(
                 lambda strategy: _run_shard_queries(
@@ -571,9 +702,12 @@ class Engine:
             and self._strategy.counters is not self.index.counters
         ):
             counters.merge(self._strategy.counters)
+        caches = self.index.cache_stats() + [structure_code_cache().stats()]
+        if self._result_cache is not None:
+            caches.append(self._result_cache.stats())
         return {
             "counters": counters.as_dict(),
-            "caches": self.index.cache_stats() + [structure_code_cache().stats()],
+            "caches": caches,
             "index": self.index.stats().as_dict(),
         }
 
@@ -608,6 +742,10 @@ class Engine:
             assigned.append(graph_id)
         self._strategy = None
         self._shard_strategies = None
+        if self._result_cache is not None:
+            # The generation bump already makes old entries unreachable;
+            # clearing releases their memory immediately.
+            self._result_cache.clear()
         return assigned
 
     def remove_graphs(self, graph_ids: Sequence[int]) -> int:
@@ -636,11 +774,49 @@ class Engine:
                 removed += self.index.remove_graph(graph_id)
         self._strategy = None
         self._shard_strategies = None
+        if self._result_cache is not None:
+            self._result_cache.clear()
         return removed
 
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """The config fingerprint used in result-cache keys (memoized)."""
+        if self._fingerprint is None:
+            self._fingerprint = engine_fingerprint(self.config)
+        return self._fingerprint
+
+    def _cache_key(
+        self, query: LabeledGraph, sigma: float
+    ) -> Optional[Tuple[Any, float, str, int]]:
+        """This query's result-cache key, or ``None`` when not caching."""
+        if self._result_cache is None:
+            return None
+        return QueryResultCache.key(
+            query, sigma, self.fingerprint(), self.index.generation
+        )
+
+    def _batch_cache_split(
+        self, queries: Sequence[LabeledGraph], sigma: float
+    ) -> Tuple[List[Optional[SearchResult]], List[Optional[Tuple]]]:
+        """Resolve a batch against the result cache.
+
+        Returns per-query ``(resolved, keys)`` lists in query order:
+        ``resolved[i]`` is the cached result (or ``None`` — still to
+        compute) and ``keys[i]`` the key to store a fresh result under.
+        Used by the batch paths that bypass :meth:`search` (sharded
+        scatter, process chunks) so only the misses pay for computation.
+        """
+        resolved: List[Optional[SearchResult]] = [None] * len(queries)
+        keys: List[Optional[Tuple]] = [None] * len(queries)
+        if self._result_cache is None:
+            return resolved, keys
+        for position, query in enumerate(queries):
+            keys[position] = self._cache_key(query, sigma)
+            resolved[position] = self._result_cache.get(keys[position])
+        return resolved, keys
+
     def search(
         self,
         query: LabeledGraph,
@@ -666,8 +842,28 @@ class Engine:
             pruning report, and counter deltas.  On a sharded engine the
             query scatter-gathers across every shard (through the config's
             executor) and the merged result is byte-identical in answer ids
-            and distances to an unsharded engine's.
+            and distances to an unsharded engine's.  On a *started* engine
+            a repeated query is answered from the result cache
+            (``result.from_cache`` is set), byte-identically to a fresh
+            search against the current index generation.
         """
+        key = self._cache_key(query, sigma)
+        if key is not None:
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                return cached
+        result = self._search_uncached(query, sigma, verify_workers)
+        if key is not None:
+            self._result_cache.put(key, result)
+        return result
+
+    def _search_uncached(
+        self,
+        query: LabeledGraph,
+        sigma: float,
+        verify_workers: Optional[int],
+    ) -> SearchResult:
+        """Compute one query, bypassing the result cache."""
         if self.is_sharded:
             return self._scatter(
                 [query], sigma, verify_workers, self.config.executor
@@ -723,10 +919,28 @@ class Engine:
         if self.is_sharded:
             executor_name = executor or self.config.executor
             start = time.perf_counter()
-            results = self._scatter(queries, sigma, verify_workers, executor_name)
+            # Serve cache hits up front and scatter only the misses; a
+            # fully-cached batch never touches the shards at all.
+            resolved, keys = self._batch_cache_split(queries, sigma)
+            missing = [
+                position
+                for position, result in enumerate(resolved)
+                if result is None
+            ]
+            if missing:
+                fresh = self._scatter(
+                    [queries[position] for position in missing],
+                    sigma,
+                    verify_workers,
+                    executor_name,
+                )
+                for position, result in zip(missing, fresh):
+                    resolved[position] = result
+                    if keys[position] is not None:
+                        self._result_cache.put(keys[position], result)
             return BatchSearchResult(
                 sigma=sigma,
-                results=results,
+                results=resolved,
                 wall_seconds=time.perf_counter() - start,
                 workers=self.index.num_shards,
                 executor=executor_name,
@@ -752,24 +966,41 @@ class Engine:
                 executor="sequential",
             )
         if executor == "process":
+            # Workers receive a cold pickled engine (no result cache), so
+            # hits are served parent-side and only misses ship out.
+            resolved, keys = self._batch_cache_split(queries, sigma)
+            missing = [
+                position
+                for position, result in enumerate(resolved)
+                if result is None
+            ]
             # One contiguous chunk per worker keeps engine pickling cost at
             # O(workers) instead of O(queries); the executor layer degrades
             # to serial where process pools are unavailable.
-            chunk_size = (len(queries) + pool_size - 1) // pool_size
+            chunk_size = max(1, (len(missing) + pool_size - 1) // pool_size)
             chunks = [
-                queries[position : position + chunk_size]
-                for position in range(0, len(queries), chunk_size)
+                missing[position : position + chunk_size]
+                for position in range(0, len(missing), chunk_size)
             ]
-            pool = make_executor("process", workers=pool_size)
+            pool = self._executor("process", pool_size)
             chunk_results = pool.map(
                 _search_chunk,
-                [(self, chunk, sigma, verify_workers) for chunk in chunks],
+                [
+                    (self, [queries[i] for i in chunk], sigma, verify_workers)
+                    for chunk in chunks
+                ],
             )
-            results = [result for chunk in chunk_results for result in chunk]
+            for chunk, chunk_result in zip(chunks, chunk_results):
+                for position, result in zip(chunk, chunk_result):
+                    resolved[position] = result
+                    if keys[position] is not None:
+                        self._result_cache.put(keys[position], result)
+            results = resolved
         else:
             # "thread" and any other registered in-process executor share
-            # the engine directly, one task per query.
-            pool = make_executor(executor, workers=pool_size)
+            # the engine directly, one task per query; :meth:`search`
+            # handles the result cache per query.
+            pool = self._executor(executor, pool_size)
             results = pool.map(
                 lambda query: self.search(query, sigma, verify_workers=verify_workers),
                 queries,

@@ -28,6 +28,17 @@ of an implementation detail:
 Results always come back in task order, whatever the executor, so callers
 can rely on deterministic merging.
 
+Executors run in one of two modes.  By default every :meth:`Executor.map`
+call builds (and tears down) its own pool — the right shape for one-shot
+batch work.  Calling :meth:`Executor.start` switches the executor to
+*resident* mode: a long-lived pool is created once (worker processes are
+spawned eagerly, so the first query never pays the fork cost) and reused by
+every subsequent ``map`` until :meth:`Executor.close`.  Resident executors
+are what the serving subsystem (:mod:`repro.serve`) keeps warm between
+requests; ``with make_executor("process", workers=4) as pool: ...`` scopes
+the lifecycle.  A pickled executor always wakes up un-started — live pools
+never cross a process boundary.
+
 Counters cross process boundaries through :meth:`Executor.map_counted`:
 in-process executors let tasks report into shared
 :class:`~repro.perf.PerfCounters` sinks directly, while the process
@@ -47,6 +58,7 @@ Examples
 
 from __future__ import annotations
 
+import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
@@ -104,6 +116,13 @@ def _guarded_call(payload: Tuple[Callable[[Any], Any], Any]) -> Tuple[bool, Any]
         return False, exc
 
 
+def _warmup_task(_: Any) -> bool:
+    """Trivial task submitted by :meth:`ProcessExecutor.start` to force the
+    resident pool to actually spawn its workers (and to fail fast on
+    platforms where process pools only break at first use)."""
+    return True
+
+
 def _counted_call(
     payload: Tuple[Callable[[Any], Any], Any]
 ) -> Tuple[bool, Any, Dict[str, float]]:
@@ -137,6 +156,9 @@ class Executor:
     #: executor identifier used in registry lookups and configuration
     name = "abstract"
 
+    #: the resident pool (``None`` unless :meth:`start` created one)
+    _pool: Optional[Any] = None
+
     def __init__(self, workers: int = 0, counters: Optional[PerfCounters] = None):
         self.workers = int(workers or 0)
         self.counters = (
@@ -144,12 +166,58 @@ class Executor:
             if isinstance(counters, PerfCounters)
             else PerfCounters(mirror=GLOBAL_COUNTERS)
         )
+        self._started = False
 
     def _pool_size(self, num_tasks: int) -> int:
         """Effective pool size for ``num_tasks`` tasks."""
         if num_tasks <= 1:
             return 1
         return min(self.workers or num_tasks, num_tasks)
+
+    def resident_size(self) -> int:
+        """Pool size used in resident mode (``workers`` or the core count)."""
+        return self.workers or (os.cpu_count() or 1)
+
+    # ------------------------------------------------------------------
+    # resident-mode lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` switched this executor to resident mode."""
+        return self._started
+
+    def start(self) -> "Executor":
+        """Switch to resident mode: one long-lived pool reused by every map.
+
+        Idempotent; returns ``self`` so construction chains
+        (``make_executor("thread", workers=4).start()``).  The base
+        implementation only flips the flag — executors without a real pool
+        (serial) have nothing to keep alive.
+        """
+        self._started = True
+        return self
+
+    def close(self) -> None:
+        """Shut the resident pool down (idempotent, also fine un-started)."""
+        self._started = False
+
+    def __enter__(self) -> "Executor":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # Live pools never cross a pickle boundary: a copy wakes up un-started
+    # with the same workers/counters configuration.
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state.pop("_pool", None)
+        state["_started"] = False
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_pool", None)
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
         """Run ``fn`` over ``items``; results come back in item order."""
@@ -186,9 +254,30 @@ class ThreadExecutor(Executor):
 
     name = "thread"
 
+    def start(self) -> "ThreadExecutor":
+        """Create the resident thread pool (idempotent)."""
+        if not self._started:
+            self._pool = ThreadPoolExecutor(max_workers=self.resident_size())
+            self._started = True
+        return self
+
+    def close(self) -> None:
+        """Shut the resident thread pool down and leave resident mode."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._started = False
+
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
-        """Run the tasks in a thread pool; falls back to serial for <=1 task."""
+        """Run the tasks in a thread pool; falls back to serial for <=1 task.
+
+        In resident mode every call — whatever its size — goes through the
+        long-lived pool, so per-call pool construction disappears from the
+        serving hot path.
+        """
         items = list(items)
+        if self._pool is not None:
+            return list(self._pool.map(fn, items))
         size = self._pool_size(len(items))
         if size <= 1:
             return [fn(item) for item in items]
@@ -197,9 +286,70 @@ class ThreadExecutor(Executor):
 
 
 class ProcessExecutor(Executor):
-    """Run tasks in worker processes (real CPU parallelism, pickled payloads)."""
+    """Run tasks in worker processes (real CPU parallelism, pickled payloads).
+
+    In resident mode (:meth:`start`) the worker processes are spawned once —
+    eagerly, via a warm-up task — and every subsequent :meth:`map` submits
+    into the live pool.  If the resident pool dies or rejects a payload, it
+    is dropped and the call degrades to the classic per-call path (which
+    itself degrades to serial), so residency is an optimization, never a
+    correctness risk.
+    """
 
     name = "process"
+
+    def start(self) -> "ProcessExecutor":
+        """Spawn the resident worker processes (idempotent).
+
+        Platforms without process support leave ``_pool`` unset — the
+        executor still *counts* as started, and every map takes the
+        per-call path with its serial fallback.
+        """
+        if not self._started:
+            try:
+                pool = ProcessPoolExecutor(max_workers=self.resident_size())
+                # Force the workers into existence now: serving latency must
+                # not pay the spawn cost on the first query, and sandboxes
+                # that only fail at first use should fail here, once.
+                pool.submit(_warmup_task, None).result()
+                self._pool = pool
+            except PROCESS_POOL_ERRORS:
+                self.counters.increment("exec.process_fallbacks")
+                self._pool = None
+            self._started = True
+        return self
+
+    def close(self) -> None:
+        """Shut the resident worker processes down and leave resident mode."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._started = False
+
+    def _resident_outcomes(
+        self,
+        wrapper: Callable[[Tuple[Callable[[Any], Any], Any]], Any],
+        fn: Callable[[Any], Any],
+        items: List[Any],
+    ) -> Optional[List[Any]]:
+        """Submit into the live resident pool; ``None`` = pool unusable.
+
+        A failing resident pool (dead workers, unpicklable payload) is shut
+        down and forgotten so later calls go straight to the per-call path
+        instead of re-hitting a broken pool.
+        """
+        if self._pool is None:
+            return None
+        try:
+            return list(self._pool.map(wrapper, [(fn, item) for item in items]))
+        except PROCESS_POOL_ERRORS:
+            self.counters.increment("exec.process_fallbacks")
+            try:
+                self._pool.shutdown(wait=False)
+            except Exception:
+                pass
+            self._pool = None
+            return None
 
     def _pooled_outcomes(
         self,
@@ -224,12 +374,19 @@ class ProcessExecutor(Executor):
             return None
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
-        """Run the tasks in a process pool, degrading to serial on failure."""
+        """Run the tasks in a process pool, degrading to serial on failure.
+
+        Resident mode routes every call (any size) through the live pool —
+        worker-side memo caches stay warm across calls; otherwise a pool is
+        built per call for >1 task.
+        """
         items = list(items)
-        size = self._pool_size(len(items))
-        if size <= 1:
-            return [fn(item) for item in items]
-        outcomes = self._pooled_outcomes(_guarded_call, fn, items, size)
+        outcomes = self._resident_outcomes(_guarded_call, fn, items)
+        if outcomes is None:
+            size = self._pool_size(len(items))
+            if size <= 1:
+                return [fn(item) for item in items]
+            outcomes = self._pooled_outcomes(_guarded_call, fn, items, size)
         if outcomes is None:
             return [fn(item) for item in items]
         values: List[Any] = []
@@ -256,10 +413,12 @@ class ProcessExecutor(Executor):
         re-raise with their original type; only pool failures fall back.
         """
         items = list(items)
-        size = self._pool_size(len(items))
-        if size <= 1:
-            return [fn(item) for item in items]
-        outcomes = self._pooled_outcomes(_counted_call, fn, items, size)
+        outcomes = self._resident_outcomes(_counted_call, fn, items)
+        if outcomes is None:
+            size = self._pool_size(len(items))
+            if size <= 1:
+                return [fn(item) for item in items]
+            outcomes = self._pooled_outcomes(_counted_call, fn, items, size)
         if outcomes is None:
             return [fn(item) for item in items]
         failure: Optional[BaseException] = None

@@ -80,6 +80,15 @@ class SearchResult:
         Deltas from concurrently executing queries may interleave when a
         batch runs in a thread pool.
 
+    from_cache:
+        ``True`` when this result was served from the engine's
+        query-result cache (:mod:`repro.serve`) instead of being computed;
+        answers, distances, candidates, and report are byte-identical to
+        the originally computed result, but the timings describe the
+        original computation, not the (O(1)) cache hit.  Deliberately
+        excluded from :meth:`as_dict`, which describes the query's answer,
+        not how it was served.
+
         The verification subsystem (:mod:`repro.search.verify`) reports
         under the ``verify.*`` prefix: ``verify.candidates`` (ids passed to
         the verifier), ``verify.superpositions_explored`` (complete
@@ -103,6 +112,7 @@ class SearchResult:
     report: PruningReport = field(default_factory=PruningReport)
     method: str = ""
     counters: Dict[str, float] = field(default_factory=dict)
+    from_cache: bool = False
 
     @property
     def num_candidates(self) -> int:

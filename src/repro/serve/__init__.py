@@ -1,0 +1,32 @@
+"""Always-on serving subsystem: resident pools, batching, result caching.
+
+Batch experiments pay engine construction, worker spawning, and cold caches
+on every invocation; a serving deployment pays them once.  This package
+holds the pieces that make the engine a long-lived service:
+
+* :class:`~repro.serve.cache.QueryResultCache` — bounded LRU over whole
+  search results, keyed by ``(query signature, sigma, engine fingerprint,
+  index generation)`` so mutations can never serve stale answers;
+* :class:`~repro.serve.server.QueryServer` — asyncio front door that
+  micro-batches concurrent queries into ``search_many`` calls over the
+  engine's resident worker pool, plus the ``pis serve`` TCP JSON-lines
+  protocol;
+* :class:`~repro.serve.client.ServeClient` — blocking reference client
+  used by ``pis bench-serve`` and the CI smoke test.
+
+The resident worker pools themselves live in :mod:`repro.exec`
+(``Executor.start()`` / ``close()``), owned per-engine via
+:meth:`repro.engine.Engine.start`.
+"""
+
+from .cache import QueryResultCache, engine_fingerprint
+from .client import ServeClient
+from .server import QueryServer, search_response
+
+__all__ = [
+    "QueryResultCache",
+    "QueryServer",
+    "ServeClient",
+    "engine_fingerprint",
+    "search_response",
+]

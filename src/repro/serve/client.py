@@ -1,0 +1,148 @@
+"""Blocking JSON-lines client for the ``pis serve`` TCP front.
+
+:class:`ServeClient` is the reference client for the protocol described in
+:mod:`repro.serve.server`: it opens one TCP connection, writes one JSON
+object per line, and reads one JSON response per line, in order.  It is
+deliberately synchronous — benchmark drivers and CI smoke tests run N
+clients as N threads, each with its own connection, which is exactly how
+the server's micro-batching is meant to be fed.
+
+``connect_timeout`` doubles as a readiness probe: the constructor retries
+refused connections until the deadline, so a client started concurrently
+with ``pis serve`` simply waits for the listener to come up.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Dict, Optional, Union
+
+from ..core.errors import ServeError
+from ..core.graph import LabeledGraph
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One connection to a running query server.
+
+    Parameters
+    ----------
+    host / port:
+        Address of the server (see ``pis serve --port-file`` for
+        discovering an ephemeral port).
+    connect_timeout:
+        How long to keep retrying a refused connection before giving up.
+    io_timeout:
+        Socket timeout for each request/response round trip.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 9999,
+        connect_timeout: float = 10.0,
+        io_timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = int(port)
+        self._io_timeout = float(io_timeout)
+        self._sock = self._connect(float(connect_timeout))
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    def _connect(self, connect_timeout: float) -> socket.socket:
+        deadline = time.monotonic() + connect_timeout
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self._io_timeout
+                )
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                return sock
+            except OSError as exc:
+                if time.monotonic() >= deadline:
+                    raise ServeError(
+                        f"could not connect to {self.host}:{self.port} "
+                        f"within {connect_timeout:.1f}s: {exc}"
+                    ) from exc
+                time.sleep(0.05)
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, return the matching response object."""
+        if self._sock is None:
+            raise ServeError("the client connection is closed")
+        self._next_id += 1
+        payload = dict(payload)
+        payload.setdefault("id", self._next_id)
+        try:
+            self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ServeError(f"serve connection failed: {exc}") from exc
+        if not line:
+            raise ServeError("the server closed the connection")
+        response = json.loads(line)
+        if response.get("id") not in (None, payload["id"]):
+            raise ServeError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {payload['id']!r}"
+            )
+        return response
+
+    def search(
+        self, query: Union[LabeledGraph, Dict[str, Any]], sigma: float
+    ) -> Dict[str, Any]:
+        """Run one SSSD query; returns the raw search response dict.
+
+        Raises :class:`~repro.core.errors.ServeError` if the server reports
+        an error, so callers can rely on ``answers`` / ``distances`` being
+        present in the return value.
+        """
+        graph = query.to_dict() if isinstance(query, LabeledGraph) else query
+        response = self.request(
+            {"op": "search", "graph": graph, "sigma": float(sigma)}
+        )
+        if not response.get("ok"):
+            raise ServeError(f"search failed: {response.get('error')}")
+        return response
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return bool(self.request({"op": "ping"}).get("ok"))
+
+    def stats(self) -> Dict[str, Any]:
+        """Fetch the server's serving statistics."""
+        response = self.request({"op": "stats"})
+        if not response.get("ok"):
+            raise ServeError(f"stats failed: {response.get('error')}")
+        return response["stats"]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._reader.close()
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self._reader = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._sock is None else "open"
+        return f"<ServeClient {self.host}:{self.port} {state}>"

@@ -1,0 +1,342 @@
+"""Asyncio front door: admission, micro-batching, and the TCP protocol.
+
+:class:`QueryServer` turns a built :class:`~repro.engine.Engine` into an
+always-on service.  Concurrent callers submit queries through
+:meth:`QueryServer.submit`; the server collects everything that arrives
+within a configurable *batching window* (``serve_batch_window_ms``), groups
+it by sigma, and answers each group with one
+:meth:`~repro.engine.Engine.search_many` call — so a burst of concurrent
+queries is scatter-gathered across the engine's resident worker pool as one
+batch instead of queueing up as individual searches.  Per-query results
+(with per-query counters and the ``from_cache`` flag) resolve each caller's
+future individually.
+
+The engine's work runs in a worker thread (``asyncio.to_thread``), so the
+event loop keeps admitting clients while a batch computes; repeated queries
+hit the engine's generation-keyed result cache
+(:class:`~repro.serve.cache.QueryResultCache`) without touching the pool at
+all.
+
+On top of :meth:`submit` sits a TCP front (:meth:`serve_forever`): a
+JSON-lines protocol — one request object per line, one response object per
+line, in order, per connection.  Requests::
+
+    {"op": "search", "id": 7, "graph": {...LabeledGraph.to_dict()...}, "sigma": 2.0}
+    {"op": "ping", "id": 8}
+    {"op": "stats", "id": 9}
+
+Search responses carry ``answers`` (graph ids), ``distances`` (exact
+per-answer distances), candidate/answer counts, phase timings, and
+``cached``.  Errors never kill the connection: a malformed line gets an
+``{"ok": false, "error": ...}`` response and the next line is processed.
+
+Concurrency comes from connections: each connection is served in order
+(JSON-lines has no request multiplexing), and N concurrent clients are N
+connections whose queries batch together — exactly the shape
+``pis bench-serve`` and the ``serving_throughput`` perf gate measure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.errors import PISError, ServeError
+from ..core.graph import LabeledGraph
+from ..perf import GLOBAL_COUNTERS, PerfCounters
+from ..search.results import SearchResult
+
+__all__ = ["QueryServer"]
+
+
+@dataclass
+class _Pending:
+    """One admitted query waiting for its batch to run."""
+
+    query: LabeledGraph
+    sigma: float
+    future: "asyncio.Future[SearchResult]"
+
+
+def search_response(result: SearchResult, request_id: Any = None) -> Dict[str, Any]:
+    """The JSON-friendly wire form of one search result.
+
+    Shared by the TCP handler and the tests so the protocol has exactly one
+    definition.  ``answers``/``distances`` are the byte-identity payload;
+    everything else is observability.
+    """
+    return {
+        "id": request_id,
+        "ok": True,
+        "op": "search",
+        "answers": list(result.answer_ids),
+        "distances": {
+            str(graph_id): result.answer_distances[graph_id]
+            for graph_id in result.answer_ids
+            if graph_id in result.answer_distances
+        },
+        "num_candidates": result.num_candidates,
+        "num_answers": result.num_answers,
+        "method": result.method,
+        "cached": bool(result.from_cache),
+        "prune_seconds": round(result.prune_seconds, 6),
+        "verify_seconds": round(result.verify_seconds, 6),
+    }
+
+
+class QueryServer:
+    """Micro-batching asyncio server over one :class:`~repro.engine.Engine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve.  Unless ``manage_engine=False``, the server
+        starts it (resident pools + result cache) on :meth:`start` and
+        closes it on :meth:`close`.
+    batch_window_ms:
+        How long the batcher waits, after the first query of a batch
+        arrives, for more queries to join it (``None`` = the config's
+        ``serve_batch_window_ms``).  ``0`` batches only what is already
+        queued.
+    max_batch:
+        Batch size cap (``None`` = the config's ``serve_max_batch``); a
+        full batch dispatches immediately without waiting out the window.
+    manage_engine:
+        When true (the default) the server owns the engine's serving
+        lifecycle; pass ``False`` to serve an engine whose ``start()`` /
+        ``close()`` the caller controls.
+    """
+
+    def __init__(
+        self,
+        engine,
+        batch_window_ms: Optional[float] = None,
+        max_batch: Optional[int] = None,
+        manage_engine: bool = True,
+    ):
+        config = engine.config
+        self.engine = engine
+        self.batch_window_ms = float(
+            config.serve_batch_window_ms if batch_window_ms is None else batch_window_ms
+        )
+        self.max_batch = int(
+            config.serve_max_batch if max_batch is None else max_batch
+        )
+        if self.batch_window_ms < 0:
+            raise ServeError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
+        if self.max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {self.max_batch}")
+        self._manage_engine = bool(manage_engine)
+        self._queue: Optional["asyncio.Queue[_Pending]"] = None
+        self._batcher: Optional["asyncio.Task[None]"] = None
+        self.counters = PerfCounters(mirror=GLOBAL_COUNTERS)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether the server is accepting queries."""
+        return self._queue is not None
+
+    async def start(self) -> "QueryServer":
+        """Start the engine (unless externally managed) and the batcher."""
+        if self._queue is not None:
+            return self
+        if self._manage_engine and not self.engine.started:
+            self.engine.start()
+        self._queue = asyncio.Queue()
+        self._batcher = asyncio.create_task(self._batch_loop())
+        return self
+
+    async def close(self) -> None:
+        """Drain in-flight queries, stop the batcher, release the engine.
+
+        Every query admitted before ``close`` is answered; the engine's
+        resident pools are shut down (when the server manages the engine),
+        so a clean close leaks no worker processes.
+        """
+        if self._queue is not None:
+            await self._queue.join()
+            self._batcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._batcher
+            self._queue = None
+            self._batcher = None
+        if self._manage_engine and self.engine.started:
+            self.engine.close()
+
+    async def __aenter__(self) -> "QueryServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # admission + batching
+    # ------------------------------------------------------------------
+    async def submit(self, query: LabeledGraph, sigma: float) -> SearchResult:
+        """Admit one query; resolves when its batch has been answered."""
+        if self._queue is None:
+            raise ServeError("the query server is not started")
+        future: "asyncio.Future[SearchResult]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self.counters.increment("serve.requests")
+        await self._queue.put(_Pending(query, float(sigma), future))
+        return await future
+
+    async def _batch_loop(self) -> None:
+        """Forever: collect one batch from the queue, run it, repeat."""
+        while True:
+            batch = [await self._queue.get()]
+            deadline = (
+                asyncio.get_running_loop().time() + self.batch_window_ms / 1000.0
+            )
+            while len(batch) < self.max_batch:
+                remaining = deadline - asyncio.get_running_loop().time()
+                if remaining <= 0:
+                    # Window elapsed — still sweep up anything already
+                    # queued, so a zero-width window batches bursts too.
+                    try:
+                        batch.append(self._queue.get_nowait())
+                        continue
+                    except asyncio.QueueEmpty:
+                        break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    continue
+            await self._run_batch(batch)
+
+    async def _run_batch(self, batch: List[_Pending]) -> None:
+        """Answer one batch: group by sigma, one ``search_many`` per group."""
+        self.counters.increment("serve.batches")
+        self.counters.increment("serve.batched_queries", len(batch))
+        groups: Dict[float, List[_Pending]] = {}
+        for pending in batch:
+            groups.setdefault(pending.sigma, []).append(pending)
+        for sigma, group in groups.items():
+            try:
+                results = await asyncio.to_thread(
+                    self.engine.search_many,
+                    [pending.query for pending in group],
+                    sigma,
+                )
+                for pending, result in zip(group, results):
+                    if not pending.future.done():
+                        pending.future.set_result(result)
+                    if result.from_cache:
+                        self.counters.increment("serve.cache_hits")
+            except Exception as exc:  # resolve the waiters, never die
+                for pending in group:
+                    if not pending.future.done():
+                        pending.future.set_exception(exc)
+            finally:
+                for pending in group:
+                    self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """JSON-friendly serving statistics (server + engine view)."""
+        return {
+            "server": {
+                "batch_window_ms": self.batch_window_ms,
+                "max_batch": self.max_batch,
+                "counters": self.counters.as_dict(),
+            },
+            "engine": self.engine.serving_stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # TCP front (JSON lines)
+    # ------------------------------------------------------------------
+    async def _respond(self, line: bytes) -> Dict[str, Any]:
+        """Answer one protocol line with one JSON-friendly response dict."""
+        try:
+            request = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return {"id": None, "ok": False, "error": f"invalid JSON: {exc}"}
+        if not isinstance(request, dict):
+            return {"id": None, "ok": False, "error": "request must be an object"}
+        request_id = request.get("id")
+        op = request.get("op", "search")
+        if op == "ping":
+            return {"id": request_id, "ok": True, "op": "ping"}
+        if op == "stats":
+            return {"id": request_id, "ok": True, "op": "stats", "stats": self.stats()}
+        if op != "search":
+            return {"id": request_id, "ok": False, "error": f"unknown op {op!r}"}
+        try:
+            graph = LabeledGraph.from_dict(request["graph"])
+            sigma = float(request["sigma"])
+        except (KeyError, TypeError, ValueError, PISError) as exc:
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": f"bad search request: {exc}",
+            }
+        try:
+            result = await self.submit(graph, sigma)
+        except PISError as exc:
+            return {"id": request_id, "ok": False, "error": str(exc)}
+        return search_response(result, request_id)
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one connection: JSON lines in, JSON lines out, in order."""
+        self.counters.increment("serve.connections")
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._respond(line)
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def serve_forever(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ready: Optional[Callable[[str, int], None]] = None,
+        stop: Optional["asyncio.Event"] = None,
+    ) -> None:
+        """Run the TCP front until cancelled (or ``stop`` is set).
+
+        ``port=0`` binds an ephemeral port; ``ready(host, port)`` is called
+        with the *bound* address once the listener is up — CLI and tests use
+        it to publish the port.  Shutdown (cancellation or ``stop``) drains
+        admitted queries and closes the engine before returning.
+        """
+        await self.start()
+        server = await asyncio.start_server(self._handle_client, host, port)
+        bound_host, bound_port = server.sockets[0].getsockname()[:2]
+        if ready is not None:
+            ready(bound_host, bound_port)
+        try:
+            async with server:
+                if stop is None:
+                    await server.serve_forever()
+                else:
+                    await stop.wait()
+        finally:
+            await self.close()
