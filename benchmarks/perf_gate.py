@@ -572,7 +572,13 @@ def main(argv=None) -> int:
         type=Path,
         default=None,
         help="benchmark JSON path (default: $PIS_BENCH_OUTPUT or "
-        "benchmarks/history/BENCH_pr6.json)",
+        "benchmarks/history/BENCH_pr7.json)",
+    )
+    parser.add_argument(
+        "--section",
+        default="gate",
+        help="section name in the benchmark JSON document; lets a quick-mode "
+        "and a full-mode gate run coexist in one file (e.g. 'gate_full')",
     )
     parser.add_argument(
         "--min-speedup",
@@ -793,7 +799,7 @@ def main(argv=None) -> int:
                 )
 
     path = bench_common.write_bench_results(
-        section="gate", payload=gate, path=arguments.output
+        section=arguments.section, payload=gate, path=arguments.output
     )
     print(f"gate results written to {path}")
 

@@ -20,7 +20,15 @@ Subcommands
 ``update``
     Incrementally add and/or remove graphs in a saved engine — no rebuild:
     the fragment index and its posting lists are updated in place and both
-    the engine and the (mutated) database are written back out.
+    the engine and the (mutated) database are written back out (atomically,
+    via write-temp + fsync + rename).  ``--wal`` additionally fsyncs every
+    batch to a write-ahead log at ``<engine>.wal`` *before* mutating, so a
+    crash mid-update never loses a committed batch.
+``recover``
+    Replay the write-ahead log left by a crashed ``pis update --wal``: the
+    engine and database are brought forward to the last committed batch,
+    checkpointed, and the log is pruned.  Recovery is idempotent — running
+    it twice (or after a clean update) is a no-op.
 ``stats``
     Print database / index statistics.
 ``serve``
@@ -224,6 +232,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine-output",
         type=Path,
         help="where to write the updated engine (default: --engine)",
+    )
+    update.add_argument(
+        "--wal",
+        action="store_true",
+        help="durable mode: fsync each batch to the write-ahead log at "
+        "<engine>.wal before mutating, then checkpoint the outputs — a "
+        "crash at any point is repairable with 'pis recover'",
+    )
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="replay a write-ahead log after a crashed 'pis update --wal'",
+    )
+    recover.add_argument(
+        "--database", type=Path, required=True, help="database JSON path"
+    )
+    recover.add_argument(
+        "--engine",
+        type=Path,
+        required=True,
+        help="saved engine JSON path (its log is at <engine>.wal)",
+    )
+    recover.add_argument(
+        "--database-output",
+        type=Path,
+        help="where to write the recovered database (default: --database)",
+    )
+    recover.add_argument(
+        "--engine-output",
+        type=Path,
+        help="where to write the recovered engine (default: --engine)",
     )
 
     stats = subparsers.add_parser("stats", help="print database / index statistics")
@@ -487,7 +526,9 @@ def _command_update(arguments: argparse.Namespace) -> int:
             )
             return 2
     database = GraphDatabase.load(arguments.database)
-    engine = Engine.load(arguments.engine, database)
+    engine = Engine.load(
+        arguments.engine, database, durability="wal" if arguments.wal else None
+    )
     removed_entries = 0
     if removals:
         removed_entries = engine.remove_graphs(removals)
@@ -495,8 +536,16 @@ def _command_update(arguments: argparse.Namespace) -> int:
     if arguments.add is not None:
         additions = GraphDatabase.load(arguments.add)
         added_ids = engine.add_graphs(list(additions), reuse_ids=arguments.reuse_ids)
-    database.save(arguments.database_output or arguments.database)
-    engine.save(arguments.engine_output or arguments.engine)
+    if engine.wal is not None:
+        # Fold the log into fresh snapshots; every batch above is already
+        # fsync'd, so a crash anywhere in here is repairable by replay.
+        engine.checkpoint(
+            arguments.engine_output or arguments.engine,
+            database_path=arguments.database_output or arguments.database,
+        )
+    else:
+        database.save(arguments.database_output or arguments.database)
+        engine.save(arguments.engine_output or arguments.engine)
     print(
         f"removed {len(removals)} graphs ({removed_entries} index entries), "
         f"added {len(added_ids)} graphs"
@@ -508,6 +557,30 @@ def _command_update(arguments: argparse.Namespace) -> int:
         f"index generation {engine.index.generation}"
     )
     print(json.dumps(engine.index.stats().as_dict(), indent=2))
+    return 0
+
+
+def _command_recover(arguments: argparse.Namespace) -> int:
+    database = GraphDatabase.load(arguments.database)
+    database_lsn = database.wal_position
+    # durability="wal" replays every committed record the snapshot (or the
+    # database file) missed, creating the log directory if a crash struck
+    # before the first append.
+    engine = Engine.load(arguments.engine, database, durability="wal")
+    recovered_lsn = engine.wal_applied_lsn
+    engine.checkpoint(
+        arguments.engine_output or arguments.engine,
+        database_path=arguments.database_output or arguments.database,
+    )
+    print(
+        f"recovered to WAL record {recovered_lsn} "
+        f"(database file was at {database_lsn}); checkpointed and pruned"
+    )
+    print(
+        f"database: {len(database)} live graphs "
+        f"({len(database.removed_ids())} retired ids); "
+        f"index generation {engine.index.generation}"
+    )
     return 0
 
 
@@ -704,6 +777,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "index": _command_index,
         "query": _command_query,
         "update": _command_update,
+        "recover": _command_recover,
         "stats": _command_stats,
         "serve": _command_serve,
         "bench-serve": _command_bench_serve,

@@ -121,6 +121,10 @@ class GraphDatabase:
         self._revisions: List[int] = []
         self._num_live = 0
         self._generation = 0
+        # WAL position the persisted form of this database folds in
+        # (0 = not WAL-managed).  The engine's replay-on-load consults it
+        # to decide which committed batches this copy already contains.
+        self.wal_position = 0
         if graphs is not None:
             for graph in graphs:
                 self.add(graph)
@@ -270,13 +274,15 @@ class GraphDatabase:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self, wal_position: Optional[int] = None) -> Dict[str, Any]:
         """Return a JSON-serializable representation of the database.
 
         Tombstoned slots serialize as ``null`` entries so identifiers (and
         therefore every graph id stored in an index) survive a round-trip;
         per-slot revisions and the generation counter ride along whenever
-        the database has ever been mutated.
+        the database has ever been mutated.  ``wal_position`` stamps the
+        write-ahead-log position this snapshot folds in (the engine's
+        checkpoint passes it); files written without one are position 0.
         """
         data: Dict[str, Any] = {
             "name": self.name,
@@ -288,6 +294,8 @@ class GraphDatabase:
         if any(self._revisions) or self._num_live != len(self._graphs):
             data["revisions"] = list(self._revisions)
             data["generation"] = self._generation
+        if wal_position is not None:
+            data["wal"] = {"committed_lsn": int(wal_position)}
         return data
 
     @classmethod
@@ -310,11 +318,25 @@ class GraphDatabase:
         if revisions is not None:
             db._revisions = [int(revision) for revision in revisions]
         db._generation = int(data.get("generation", 0))
+        wal = data.get("wal")
+        if isinstance(wal, dict):
+            db.wal_position = int(wal.get("committed_lsn", 0))
         return db
 
-    def save(self, path: Union[str, Path]) -> None:
-        """Write the database to a JSON file."""
-        Path(path).write_text(json.dumps(self.to_dict()), encoding="utf-8")
+    def save(
+        self, path: Union[str, Path], wal_position: Optional[int] = None
+    ) -> None:
+        """Write the database to a JSON file (atomic replace).
+
+        The file is replaced via write-temp + fsync + rename so a crash
+        mid-save leaves the previous copy intact rather than a torn file.
+        ``wal_position`` stamps the WAL position the snapshot folds in.
+        """
+        from ..store.atomic import atomic_write_text
+
+        atomic_write_text(
+            Path(path), json.dumps(self.to_dict(wal_position=wal_position))
+        )
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "GraphDatabase":

@@ -26,6 +26,8 @@ __all__ = [
     "EngineConfigError",
     "UnknownComponentError",
     "ServeError",
+    "WalError",
+    "WalCorruptionError",
 ]
 
 
@@ -118,6 +120,19 @@ class EngineConfigError(EngineError, ValueError):
 
 class ServeError(EngineError):
     """Errors raised by the serving subsystem (:mod:`repro.serve`)."""
+
+
+class WalError(PISError):
+    """Errors raised by the write-ahead log (:mod:`repro.store`)."""
+
+
+class WalCorruptionError(WalError):
+    """A WAL segment holds a record that fails its checksum mid-stream.
+
+    A torn *tail* (the final record of the final segment cut short by a
+    crash) is expected and silently dropped; corruption anywhere else means
+    the log cannot be trusted and replay must stop loudly.
+    """
 
 
 class UnknownComponentError(EngineError, KeyError):

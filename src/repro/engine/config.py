@@ -98,6 +98,14 @@ start`); ``0`` disables it even there.  Entries are keyed by query
     serve_max_batch:
         Default batch-size cap of the query server; a full batch
         dispatches immediately without waiting out the window.
+    durability:
+        Mutation durability mode: ``"none"`` (the default — mutations
+        apply in memory only, exactly the pre-WAL behaviour) or ``"wal"``
+        (every :meth:`repro.engine.Engine.add_graphs` /
+        :meth:`~repro.engine.Engine.remove_graphs` batch is fsync'd to a
+        write-ahead log *before* the in-memory index mutates, and
+        :meth:`~repro.engine.Engine.load` replays committed batches the
+        last snapshot missed — see :mod:`repro.store`).
     """
 
     selector: str = "exhaustive"
@@ -116,8 +124,13 @@ start`); ``0`` disables it even there.  Entries are keyed by query
     result_cache_size: int = 1024
     serve_batch_window_ms: float = 2.0
     serve_max_batch: int = 32
+    durability: str = "none"
 
     def __post_init__(self):
+        if self.durability not in ("none", "wal"):
+            raise EngineConfigError(
+                f"durability must be 'none' or 'wal', got {self.durability!r}"
+            )
         if isinstance(self.shards, bool) or not isinstance(self.shards, int):
             raise EngineConfigError(
                 f"shards must be an int >= 1, got {self.shards!r}"
@@ -252,6 +265,7 @@ start`); ``0`` disables it even there.  Entries are keyed by query
             "result_cache_size": self.result_cache_size,
             "serve_batch_window_ms": self.serve_batch_window_ms,
             "serve_max_batch": self.serve_max_batch,
+            "durability": self.durability,
         }
 
     @classmethod

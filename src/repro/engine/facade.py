@@ -34,11 +34,21 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..core.database import GraphDatabase
 from ..core.distance import DistanceMeasure
-from ..core.errors import EngineConfigError, EngineError, SerializationError
+from ..core.errors import (
+    EngineConfigError,
+    EngineError,
+    SerializationError,
+    WalError,
+)
 from ..core.graph import LabeledGraph
 from ..exec import Executor, available_executors, make_executor
 from ..index.fragment_index import FragmentIndex
-from ..index.persistence import index_from_dict, index_to_dict, measure_to_dict
+from ..index.persistence import (
+    index_from_dict,
+    index_to_dict,
+    index_wal_position,
+    measure_to_dict,
+)
 from ..index.sharded import (
     ShardDatabaseView,
     ShardedFragmentIndex,
@@ -51,6 +61,8 @@ from ..search.registry import make_strategy, strategy_class
 from ..search.results import PruningReport, SearchResult
 from ..search.strategy import SearchStrategy
 from ..serve.cache import QueryResultCache, engine_fingerprint
+from ..store.atomic import atomic_write_text
+from ..store.wal import WriteAheadLog
 from .config import EngineConfig
 
 __all__ = ["Engine", "BatchSearchResult"]
@@ -264,6 +276,8 @@ class Engine:
         self._started = False
         self._resident_executors: Dict[Tuple[str, int, bool], Executor] = {}
         self._result_cache: Optional[QueryResultCache] = None
+        self._wal: Optional[WriteAheadLog] = None
+        self._wal_applied_lsn = 0
         self.config = config  # property setter validates
 
     @property
@@ -400,6 +414,9 @@ class Engine:
         state["_started"] = False
         state["_resident_executors"] = {}
         state["_result_cache"] = None
+        # Worker copies must never log to the parent's write-ahead log:
+        # the parent already committed the batch before the copy was made.
+        state["_wal"] = None
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
@@ -729,17 +746,46 @@ class Engine:
         the grown database would.
 
         Returns the assigned graph ids, in input order.
+
+        With ``durability="wal"`` (a WAL attached), the whole batch —
+        including the ids it will assign, planned deterministically up
+        front — is fsync'd to the write-ahead log *before* anything
+        mutates, so a crash at any later point replays to exactly this
+        post-batch state.  The in-memory apply runs under the index's
+        exclusive write epoch: concurrent searches see the pre-batch index
+        or the post-batch index, never a half-applied one.
         """
-        assigned: List[int] = []
-        reclaimable = self.database.removed_ids() if reuse_ids else []
-        for graph in graphs:
-            graph_id = (
-                self.database.add(graph, graph_id=reclaimable.pop(0))
-                if reclaimable
-                else self.database.add(graph)
+        graphs = list(graphs)
+        planned = self._plan_additions(graphs, reuse_ids)
+        lsn: Optional[int] = None
+        if self._wal is not None:
+            lsn = self._wal.append(
+                "add",
+                {
+                    "graphs": [
+                        [graph_id, graph.to_dict()]
+                        for graph_id, graph in zip(planned, graphs)
+                    ]
+                },
             )
-            self.index.add_graph(graph_id, graph)
-            assigned.append(graph_id)
+        assigned: List[int] = []
+        with self.index.epochs.write():
+            for graph_id, graph in zip(planned, graphs):
+                actual = (
+                    self.database.add(graph, graph_id=graph_id)
+                    if graph_id < self.database.id_bound
+                    else self.database.add(graph)
+                )
+                if actual != graph_id:
+                    raise EngineError(
+                        f"planned graph id {graph_id} but the database "
+                        f"assigned {actual}; id planning desynchronized"
+                    )
+                self.index.add_graph(actual, graph)
+                assigned.append(actual)
+        if lsn is not None:
+            self._wal_applied_lsn = lsn
+            self.database.wal_position = lsn
         self._strategy = None
         self._shard_strategies = None
         if self._result_cache is not None:
@@ -747,6 +793,28 @@ class Engine:
             # clearing releases their memory immediately.
             self._result_cache.clear()
         return assigned
+
+    def _plan_additions(
+        self, graphs: Sequence[LabeledGraph], reuse_ids: bool
+    ) -> List[int]:
+        """Pre-assign the ids :meth:`add_graphs` will hand out.
+
+        Replicates the database's assignment rule (reclaim tombstoned
+        slots lowest-first when ``reuse_ids``, else append at the bound)
+        without mutating anything, so the WAL record of a batch can name
+        its ids *before* the batch applies — replay is then deterministic
+        by construction.
+        """
+        reclaimable = self.database.removed_ids() if reuse_ids else []
+        next_fresh = self.database.id_bound
+        planned: List[int] = []
+        for _ in graphs:
+            if reclaimable:
+                planned.append(reclaimable.pop(0))
+            else:
+                planned.append(next_fresh)
+                next_fresh += 1
+        return planned
 
     def remove_graphs(self, graph_ids: Sequence[int]) -> int:
         """Remove graphs from the database and the index, without a rebuild.
@@ -764,19 +832,163 @@ class Engine:
                 raise EngineError(
                     f"cannot remove graph id {graph_id}: not a live database graph"
                 )
+        lsn: Optional[int] = None
+        if self._wal is not None:
+            # Validation above means the record can always replay; commit
+            # it before the first in-memory mutation.
+            lsn = self._wal.append(
+                "remove", {"graph_ids": [int(graph_id) for graph_id in graph_ids]}
+            )
         removed = 0
-        for graph_id in graph_ids:
-            self.database.remove(graph_id)
-            if (
-                graph_id < self.index.num_graphs
-                and graph_id not in self.index.removed_graph_ids
-            ):
-                removed += self.index.remove_graph(graph_id)
+        with self.index.epochs.write():
+            for graph_id in graph_ids:
+                self.database.remove(graph_id)
+                if (
+                    graph_id < self.index.num_graphs
+                    and graph_id not in self.index.removed_graph_ids
+                ):
+                    removed += self.index.remove_graph(graph_id)
+        if lsn is not None:
+            self._wal_applied_lsn = lsn
+            self.database.wal_position = lsn
         self._strategy = None
         self._shard_strategies = None
         if self._result_cache is not None:
             self._result_cache.clear()
         return removed
+
+    # ------------------------------------------------------------------
+    # durability (write-ahead log)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def wal_path_for(engine_path: Union[str, Path]) -> Path:
+        """Conventional WAL directory for an engine file: ``<engine>.wal``."""
+        return Path(str(engine_path) + ".wal")
+
+    @property
+    def wal(self) -> Optional[WriteAheadLog]:
+        """The attached write-ahead log (``None`` in ``durability="none"``)."""
+        return self._wal
+
+    @property
+    def wal_applied_lsn(self) -> int:
+        """Last WAL record folded into the in-memory engine state."""
+        return self._wal_applied_lsn
+
+    def attach_wal(
+        self,
+        wal: Union[WriteAheadLog, str, Path],
+        applied_lsn: Optional[int] = None,
+        replay: bool = True,
+    ) -> int:
+        """Attach a write-ahead log and (by default) replay pending records.
+
+        ``applied_lsn`` names the position the in-memory state already
+        folds in (defaults to the current tracked position — 0 for a
+        freshly built engine).  Returns the number of records replayed.
+        """
+        if not isinstance(wal, WriteAheadLog):
+            wal = WriteAheadLog(wal)
+        self._wal = wal
+        if applied_lsn is not None:
+            self._wal_applied_lsn = int(applied_lsn)
+        return self.replay_wal() if replay else 0
+
+    def replay_wal(self) -> int:
+        """Bring the engine forward to the WAL's last committed batch.
+
+        Each committed record is applied to exactly the stores that missed
+        it: the index side replays records beyond the engine snapshot's
+        position, the database side records beyond the database file's own
+        position (a crash between the two atomic file writes leaves them
+        one batch apart).  Replaying the same operations the original
+        batch ran makes the recovered state — generations, revisions,
+        persisted bytes — identical to an uninterrupted run.
+
+        Returns the number of records applied.
+        """
+        if self._wal is None:
+            return 0
+        database_lsn = int(getattr(self.database, "wal_position", 0) or 0)
+        start_lsn = min(self._wal_applied_lsn, database_lsn)
+        applied = 0
+        with self.index.epochs.write():
+            for record in self._wal.pending(start_lsn):
+                self._apply_wal_record(
+                    record,
+                    to_database=record.lsn > database_lsn,
+                    to_index=record.lsn > self._wal_applied_lsn,
+                )
+                self._wal_applied_lsn = max(self._wal_applied_lsn, record.lsn)
+                applied += 1
+        self._wal_applied_lsn = max(self._wal_applied_lsn, database_lsn)
+        self.database.wal_position = self._wal_applied_lsn
+        if applied:
+            self._strategy = None
+            self._shard_strategies = None
+            if self._result_cache is not None:
+                self._result_cache.clear()
+        return applied
+
+    def _apply_wal_record(
+        self, record, to_database: bool = True, to_index: bool = True
+    ) -> None:
+        """Apply one committed WAL record to the selected stores."""
+        if record.op == "add":
+            for graph_id, graph_data in record.payload.get("graphs", []):
+                graph_id = int(graph_id)
+                graph = LabeledGraph.from_dict(graph_data)
+                if to_database:
+                    actual = (
+                        self.database.add(graph, graph_id=graph_id)
+                        if graph_id < self.database.id_bound
+                        else self.database.add(graph)
+                    )
+                    if actual != graph_id:
+                        raise WalError(
+                            f"WAL replay assigned graph id {actual} where the "
+                            f"record committed {graph_id}; the database does "
+                            "not match the log's base state"
+                        )
+                if to_index:
+                    self.index.add_graph(graph_id, graph)
+        elif record.op == "remove":
+            for graph_id in record.payload.get("graph_ids", []):
+                graph_id = int(graph_id)
+                if to_database:
+                    self.database.remove(graph_id)
+                if to_index and (
+                    graph_id < self.index.num_graphs
+                    and graph_id not in self.index.removed_graph_ids
+                ):
+                    self.index.remove_graph(graph_id)
+        else:
+            raise WalError(f"unknown WAL operation {record.op!r}")
+
+    def checkpoint(
+        self,
+        path: Union[str, Path],
+        database_path: Union[str, Path, None] = None,
+    ) -> int:
+        """Fold the WAL into version-5 snapshots and prune the log.
+
+        Writes the database first (when ``database_path`` is given), the
+        engine snapshot second, and prunes the log last — each file
+        replaced atomically — so a crash between any two steps leaves a
+        combination :meth:`load` recovers from: the log still holds every
+        record a lagging file is missing.  Returns the checkpointed LSN.
+        """
+        if self._wal is None:
+            raise EngineError(
+                "no write-ahead log attached; checkpoint requires "
+                'durability="wal"'
+            )
+        lsn = self._wal_applied_lsn
+        if database_path is not None:
+            self.database.save(database_path, wal_position=lsn)
+        self.save(path)
+        self._wal.checkpoint(lsn)
+        return lsn
 
     # ------------------------------------------------------------------
     # querying
@@ -852,7 +1064,11 @@ class Engine:
             cached = self._result_cache.get(key)
             if cached is not None:
                 return cached
-        result = self._search_uncached(query, sigma, verify_workers)
+        # Pin the reader epoch: a concurrent add/remove batch waits for
+        # this query to finish, so it sees the pre-batch index or the
+        # post-batch index, never a half-applied one.
+        with self.index.epochs.read():
+            result = self._search_uncached(query, sigma, verify_workers)
         if key is not None:
             self._result_cache.put(key, result)
         return result
@@ -928,12 +1144,15 @@ class Engine:
                 if result is None
             ]
             if missing:
-                fresh = self._scatter(
-                    [queries[position] for position in missing],
-                    sigma,
-                    verify_workers,
-                    executor_name,
-                )
+                # One topology-level read pin covers the whole scatter;
+                # per-shard work nests under it without re-acquiring.
+                with self.index.epochs.read():
+                    fresh = self._scatter(
+                        [queries[position] for position in missing],
+                        sigma,
+                        verify_workers,
+                        executor_name,
+                    )
                 for position, result in zip(missing, fresh):
                     resolved[position] = result
                     if keys[position] is not None:
@@ -983,13 +1202,16 @@ class Engine:
                 for position in range(0, len(missing), chunk_size)
             ]
             pool = self._executor("process", pool_size)
-            chunk_results = pool.map(
-                _search_chunk,
-                [
-                    (self, [queries[i] for i in chunk], sigma, verify_workers)
-                    for chunk in chunks
-                ],
-            )
+            # Hold a read pin while the engine pickles into the workers so
+            # a concurrent writer cannot mutate the index mid-serialization.
+            with self.index.epochs.read():
+                chunk_results = pool.map(
+                    _search_chunk,
+                    [
+                        (self, [queries[i] for i in chunk], sigma, verify_workers)
+                        for chunk in chunks
+                    ],
+                )
             for chunk, chunk_result in zip(chunks, chunk_results):
                 for position, result in zip(chunk, chunk_result):
                     resolved[position] = result
@@ -1021,21 +1243,34 @@ class Engine:
 
         The database itself is never stored — exactly as in the paper, the
         index holds only fragment sequences and graph ids — so loading
-        takes the database as an argument.
+        takes the database as an argument.  With a write-ahead log
+        attached the snapshot also records the last WAL record it folds
+        in, so :meth:`load` knows which committed batches to replay.
         """
+        wal_position = self._wal_applied_lsn if self._wal is not None else None
         return {
             "format": ENGINE_FORMAT,
             "version": 1,
             "config": self.config.to_dict(),
             "database_fingerprint": _database_fingerprint(self.database),
-            "index": index_to_dict(self.index),
+            "index": index_to_dict(self.index, wal_position=wal_position),
         }
 
     @classmethod
     def from_dict(
-        cls, data: Dict[str, Any], database: GraphDatabase
+        cls,
+        data: Dict[str, Any],
+        database: GraphDatabase,
+        _defer_consistency: bool = False,
     ) -> "Engine":
-        """Rebuild an engine from :meth:`to_dict` output plus its database."""
+        """Rebuild an engine from :meth:`to_dict` output plus its database.
+
+        ``_defer_consistency`` (internal, used by :meth:`load` during WAL
+        recovery) skips the database/index cross-checks: a crash between
+        the database and engine snapshot writes legitimately leaves the
+        two files one batch apart, and the checks only hold again after
+        the pending records replay.
+        """
         if not isinstance(data, dict) or data.get("format") != ENGINE_FORMAT:
             raise SerializationError("not a serialized PIS engine")
         config = EngineConfig.from_dict(data.get("config", {}))
@@ -1047,6 +1282,8 @@ class Engine:
                 config = config.replace(shards=index.num_shards)
         elif config.shards != 1:
             config = config.replace(shards=1)
+        if _defer_consistency:
+            return cls(database, config, index)
         # Compare identifier bounds, not live counts: a database that has
         # seen removals legitimately holds fewer live graphs than its id
         # bound, and the index tracks the same bound.
@@ -1068,27 +1305,105 @@ class Engine:
         return cls(database, config, index)
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write the engine (config + index) to a JSON file."""
+        """Write the engine (config + index) to a JSON file.
+
+        The file is replaced atomically (write-temp + fsync + rename): a
+        crash mid-save leaves the previous snapshot intact, never a
+        truncated one.
+        """
         try:
-            Path(path).write_text(json.dumps(self.to_dict()), encoding="utf-8")
-        except OSError as exc:
-            raise SerializationError(
-                f"cannot write engine to {path}: {exc}"
-            ) from exc
+            text = json.dumps(self.to_dict())
         except TypeError as exc:
             raise SerializationError(
                 f"engine contains values that are not JSON-serializable: {exc}"
             ) from exc
+        try:
+            atomic_write_text(path, text)
+        except OSError as exc:
+            raise SerializationError(
+                f"cannot write engine to {path}: {exc}"
+            ) from exc
 
     @classmethod
     def load(
-        cls, path: Union[str, Path], database: GraphDatabase
+        cls,
+        path: Union[str, Path],
+        database: GraphDatabase,
+        durability: Optional[str] = None,
     ) -> "Engine":
-        """Load an engine written by :meth:`save`, binding it to ``database``."""
+        """Load an engine written by :meth:`save`, binding it to ``database``.
+
+        ``durability`` overrides the snapshot's configured mode: ``"wal"``
+        forces a write-ahead log open (creating ``<path>.wal`` if absent),
+        ``"none"`` ignores any log on disk, and ``None`` (the default)
+        follows the stored config — also opening an existing ``<path>.wal``
+        directory left by a ``durability="wal"`` writer.
+
+        In WAL mode, committed batches the snapshot (or the database file)
+        missed — e.g. because the writer crashed before checkpointing —
+        are replayed before the engine is returned, so the loaded state
+        always reflects the last *committed* mutation batch.
+        """
         try:
             data = json.loads(Path(path).read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
             raise SerializationError(
                 f"cannot load engine from {path}: {exc}"
             ) from exc
-        return cls.from_dict(data, database)
+        if durability is not None and durability not in ("none", "wal"):
+            raise EngineConfigError(
+                f"durability must be 'none' or 'wal', got {durability!r}"
+            )
+        wal_dir = cls.wal_path_for(path)
+        mode = durability
+        if mode is None:
+            stored_config = data.get("config")
+            stored_mode = (
+                stored_config.get("durability", "none")
+                if isinstance(stored_config, dict)
+                else "none"
+            )
+            mode = (
+                "wal"
+                if stored_mode == "wal" or wal_dir.is_dir()
+                else "none"
+            )
+        if mode != "wal":
+            return cls.from_dict(data, database)
+        wal = WriteAheadLog(wal_dir)
+        snapshot_lsn = index_wal_position(data.get("index") or {})
+        database_lsn = int(getattr(database, "wal_position", 0) or 0)
+        pending = any(
+            True for _ in wal.pending(min(snapshot_lsn, database_lsn))
+        )
+        if pending and database_lsn == snapshot_lsn:
+            # Both files describe the same pre-replay state, so the
+            # fingerprint is checkable now — a foreign database must not
+            # silently absorb someone else's log.
+            stored = data.get("database_fingerprint")
+            if stored is not None and stored != _database_fingerprint(database):
+                raise EngineError(
+                    "the supplied database does not match the one this "
+                    f"engine was built from (fingerprint {stored} != "
+                    f"{_database_fingerprint(database)}); refusing to "
+                    "replay its write-ahead log"
+                )
+        # With records pending, the two files may legitimately disagree
+        # (crash between the database and engine writes); the cross-checks
+        # re-run below once replay has brought both forward.
+        engine = cls.from_dict(data, database, _defer_consistency=pending)
+        if engine.config.durability != "wal":
+            engine.config = engine.config.replace(durability="wal")
+        engine._wal = wal
+        engine._wal_applied_lsn = snapshot_lsn
+        engine.replay_wal()
+        if pending:
+            database_bound = getattr(database, "id_bound", len(database))
+            if engine.index.num_graphs != database_bound:
+                raise WalError(
+                    f"WAL replay left the index spanning "
+                    f"{engine.index.num_graphs} graph ids but the database "
+                    f"spans {database_bound}; the log does not belong to "
+                    "this database/engine pair"
+                )
+        return engine

@@ -51,6 +51,7 @@ from ..core.errors import FeatureNotIndexedError, IndexError_, IndexNotBuiltErro
 from ..core.graph import LabeledGraph, edge_key
 from .. import perf
 from ..perf import GLOBAL_COUNTERS, MemoCache, PerfCounters, graph_signature
+from ..store.epoch import EpochManager
 from .bitset import bits_from_ids
 from .class_index import EquivalenceClassIndex
 from .sequence import FragmentSequencer
@@ -189,6 +190,13 @@ class FragmentIndex:
         self._removed_ids: set = set()
         self._generation = 0
         self._built = False
+        # Reader/writer isolation (repro.store.epoch): searches pin the
+        # current epoch via ``epochs.read()`` and every mutator below runs
+        # under ``epochs.write()``, so a concurrent reader never observes a
+        # half-applied mutation.  The manager is reentrant, so the engine
+        # wrapping a whole batch in one write session composes with the
+        # per-graph sessions taken here.
+        self.epochs = EpochManager()
         self.counters = PerfCounters(mirror=GLOBAL_COUNTERS)
         self._fragment_cache = MemoCache(
             "query_fragments", maxsize=256, counters=self.counters
@@ -288,28 +296,30 @@ class FragmentIndex:
         """
         if not isinstance(database, GraphDatabase):
             database = GraphDatabase(database)
-        # Index identifiers up to the database's id bound; tombstoned slots
-        # are recorded so candidate fallbacks never report retired ids.
-        self._num_graphs = database.id_bound
-        self._removed_ids = set(database.removed_ids())
-        pool_size = int(workers or 0)
-        generation_before = self._generation
-        with self.counters.timer("index_build"):
-            if (
-                pool_size > 1
-                and len(database) > 1
-                and self._classes
-                and perf.optimizations_enabled("parallel")
-            ):
-                self._build_parallel(database, pool_size)
-            else:
-                for graph_id, graph in database.items():
-                    self.index_graph(graph_id, graph)
-        # One whole build counts as one mutation regardless of how many
-        # per-graph steps (or worker chunks) it took, so serial and
-        # parallel builds serialize identically.
-        self._generation = generation_before + 1
-        self._built = True
+        with self.epochs.write():
+            # Index identifiers up to the database's id bound; tombstoned
+            # slots are recorded so candidate fallbacks never report
+            # retired ids.
+            self._num_graphs = database.id_bound
+            self._removed_ids = set(database.removed_ids())
+            pool_size = int(workers or 0)
+            generation_before = self._generation
+            with self.counters.timer("index_build"):
+                if (
+                    pool_size > 1
+                    and len(database) > 1
+                    and self._classes
+                    and perf.optimizations_enabled("parallel")
+                ):
+                    self._build_parallel(database, pool_size)
+                else:
+                    for graph_id, graph in database.items():
+                        self.index_graph(graph_id, graph)
+            # One whole build counts as one mutation regardless of how many
+            # per-graph steps (or worker chunks) it took, so serial and
+            # parallel builds serialize identically.
+            self._generation = generation_before + 1
+            self._built = True
         return self
 
     def _build_parallel(self, database: GraphDatabase, workers: int) -> None:
@@ -359,22 +369,23 @@ class FragmentIndex:
         :meth:`add_graph` wraps it with the stricter id bookkeeping of the
         update subsystem.
         """
-        reused = graph_id in self._removed_ids
-        total = 0
-        for class_index in self._classes.values():
-            skeleton = class_index.skeleton
-            if (
-                skeleton.num_vertices > graph.num_vertices
-                or skeleton.num_edges > graph.num_edges
-            ):
-                continue
-            total += class_index.index_graph(graph_id, graph)
-        self._removed_ids.discard(graph_id)
-        if graph_id >= self._num_graphs:
-            self._num_graphs = graph_id + 1
-        self._built = True
-        self.counters.increment("index_build.occurrences", total)
-        self._mark_mutation(distances=reused)
+        with self.epochs.write():
+            reused = graph_id in self._removed_ids
+            total = 0
+            for class_index in self._classes.values():
+                skeleton = class_index.skeleton
+                if (
+                    skeleton.num_vertices > graph.num_vertices
+                    or skeleton.num_edges > graph.num_edges
+                ):
+                    continue
+                total += class_index.index_graph(graph_id, graph)
+            self._removed_ids.discard(graph_id)
+            if graph_id >= self._num_graphs:
+                self._num_graphs = graph_id + 1
+            self._built = True
+            self.counters.increment("index_build.occurrences", total)
+            self._mark_mutation(distances=reused)
         return total
 
     # ------------------------------------------------------------------
@@ -400,11 +411,12 @@ class FragmentIndex:
                 f"graph id {graph_id} is already indexed; remove it before "
                 "re-adding"
             )
-        if graph_id > self._num_graphs:
-            self._removed_ids.update(range(self._num_graphs, graph_id))
-        with self.counters.timer("index_update"):
-            total = self.index_graph(graph_id, graph)
-        self.counters.increment("index_update.added_graphs")
+        with self.epochs.write():
+            if graph_id > self._num_graphs:
+                self._removed_ids.update(range(self._num_graphs, graph_id))
+            with self.counters.timer("index_update"):
+                total = self.index_graph(graph_id, graph)
+            self.counters.increment("index_update.added_graphs")
         return total
 
     def add_graphs(
@@ -424,9 +436,10 @@ class FragmentIndex:
         """
         id_bound = int(id_bound)
         if id_bound > self._num_graphs:
-            self._removed_ids.update(range(self._num_graphs, id_bound))
-            self._num_graphs = id_bound
-            self._built = True
+            with self.epochs.write():
+                self._removed_ids.update(range(self._num_graphs, id_bound))
+                self._num_graphs = id_bound
+                self._built = True
 
     def mark_retired(self, graph_id: int) -> None:
         """Record ``graph_id`` as retired here without touching postings.
@@ -468,14 +481,15 @@ class FragmentIndex:
             or graph_id in self._removed_ids
         ):
             raise IndexError_(f"graph id {graph_id!r} is not a live indexed graph")
-        with self.counters.timer("index_update"):
-            removed = sum(
-                class_index.remove_graph(graph_id)
-                for class_index in self._classes.values()
-            )
-        self._removed_ids.add(graph_id)
-        self.counters.increment("index_update.removed_graphs")
-        self._mark_mutation(distances=True)
+        with self.epochs.write():
+            with self.counters.timer("index_update"):
+                removed = sum(
+                    class_index.remove_graph(graph_id)
+                    for class_index in self._classes.values()
+                )
+            self._removed_ids.add(graph_id)
+            self.counters.increment("index_update.removed_graphs")
+            self._mark_mutation(distances=True)
         return removed
 
     def remove_graphs(self, graph_ids: Iterable[int]) -> int:

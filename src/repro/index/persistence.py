@@ -26,6 +26,7 @@ from ..core.distance import (
 )
 from ..core.errors import SerializationError
 from ..core.graph import LabeledGraph
+from ..store.atomic import atomic_write_text
 from .fragment_index import FragmentIndex
 from .sharded import ShardedFragmentIndex
 
@@ -34,10 +35,12 @@ __all__ = [
     "measure_from_dict",
     "index_to_dict",
     "index_from_dict",
+    "index_wal_position",
     "save_index",
     "load_index",
     "INDEX_SCHEMA_VERSION",
     "SHARDED_INDEX_SCHEMA_VERSION",
+    "WAL_INDEX_SCHEMA_VERSION",
     "SUPPORTED_INDEX_VERSIONS",
 ]
 
@@ -82,8 +85,16 @@ INDEX_SCHEMA_VERSION = 3
 #: :func:`save_index`.  Versions 1–3 keep loading as a single shard.
 SHARDED_INDEX_SCHEMA_VERSION = 4
 
+#: schema version of a *checkpoint* snapshot: structurally a version-3
+#: single index (or a version-4 sharded manifest), plus a ``"wal"`` section
+#: recording the log position the snapshot folds in
+#: (``{"committed_lsn": N}``).  Loading a version-5 snapshot next to a
+#: write-ahead log replays exactly the records beyond that position —
+#: a version-3/4 snapshot is simply a version-5 snapshot at position 0.
+WAL_INDEX_SCHEMA_VERSION = 5
+
 #: schema versions this loader understands
-SUPPORTED_INDEX_VERSIONS = (1, 2, 3, 4)
+SUPPORTED_INDEX_VERSIONS = (1, 2, 3, 4, 5)
 
 
 def _sharded_manifest(index: ShardedFragmentIndex) -> Dict[str, Any]:
@@ -99,19 +110,46 @@ def _sharded_manifest(index: ShardedFragmentIndex) -> Dict[str, Any]:
     }
 
 
+def _is_sharded_payload(data: Dict[str, Any]) -> bool:
+    """Whether a serialized index document describes a sharded topology."""
+    return "sharding" in data or "shards" in data or "shard_files" in data
+
+
+def _stamp_wal_position(document: Dict[str, Any], wal_position) -> Dict[str, Any]:
+    """Upgrade a v3/v4 document to a v5 snapshot carrying a WAL position."""
+    if wal_position is None:
+        return document
+    document["version"] = WAL_INDEX_SCHEMA_VERSION
+    document["wal"] = {"committed_lsn": int(wal_position)}
+    return document
+
+
+def index_wal_position(data: Dict[str, Any]) -> int:
+    """The WAL position a serialized snapshot folds in (0 for v1–v4)."""
+    wal = data.get("wal")
+    if isinstance(wal, dict):
+        return int(wal.get("committed_lsn", 0))
+    return 0
+
+
 def index_to_dict(
-    index: Union[FragmentIndex, ShardedFragmentIndex]
+    index: Union[FragmentIndex, ShardedFragmentIndex],
+    wal_position: Union[int, None] = None,
 ) -> Dict[str, Any]:
     """Serialize a built index to a JSON-friendly dict.
 
     A :class:`~repro.index.sharded.ShardedFragmentIndex` serializes as a
     version-4 manifest with one embedded version-3 payload per shard; a
     plain :class:`FragmentIndex` keeps the version-3 single-index schema.
+    Passing ``wal_position`` upgrades the top-level document to a version-5
+    checkpoint snapshot whose ``"wal"`` section records the log position it
+    folds in (embedded shard payloads stay version 3 — the position is a
+    whole-snapshot property).
     """
     if isinstance(index, ShardedFragmentIndex):
         manifest = _sharded_manifest(index)
         manifest["shards"] = [index_to_dict(shard) for shard in index.shards]
-        return manifest
+        return _stamp_wal_position(manifest, wal_position)
     classes = []
     for class_index in index.classes():
         grouped: Dict[Any, list] = {}
@@ -140,7 +178,7 @@ def index_to_dict(
                 ),
             }
         )
-    return {
+    document = {
         "format": "pis-fragment-index",
         "version": INDEX_SCHEMA_VERSION,
         "measure": measure_to_dict(index.measure),
@@ -151,6 +189,7 @@ def index_to_dict(
         "generation": index.generation,
         "classes": classes,
     }
+    return _stamp_wal_position(document, wal_position)
 
 
 def index_from_dict(
@@ -165,7 +204,10 @@ def index_from_dict(
     (retired graph ids, generation counter, per-graph occurrence counts).
     Version-4 manifests with embedded shard payloads rebuild a
     :class:`~repro.index.sharded.ShardedFragmentIndex`; versions 1–3 load
-    as a single (unsharded) index exactly as before.
+    as a single (unsharded) index exactly as before.  Version-5 checkpoint
+    snapshots load like their version-3/4 counterparts — the ``"wal"``
+    position they carry is consumed by the engine's replay-on-load, not
+    here (:func:`index_wal_position` extracts it).
 
     A file with *no* ``version`` field is suspicious — it is what a
     truncated or hand-mangled dump looks like — so it triggers a
@@ -188,7 +230,7 @@ def index_from_dict(
             f"unsupported index schema version {version!r}; "
             f"supported: {list(SUPPORTED_INDEX_VERSIONS)}"
         )
-    if version == SHARDED_INDEX_SCHEMA_VERSION:
+    if version >= SHARDED_INDEX_SCHEMA_VERSION and _is_sharded_payload(data):
         shard_payloads = data.get("shards")
         if not shard_payloads:
             raise SerializationError(
@@ -230,7 +272,9 @@ def index_from_dict(
 
 
 def save_index(
-    index: Union[FragmentIndex, ShardedFragmentIndex], path: Union[str, Path]
+    index: Union[FragmentIndex, ShardedFragmentIndex],
+    path: Union[str, Path],
+    wal_position: Union[int, None] = None,
 ) -> None:
     """Write an index to JSON: one file, or a manifest plus per-shard files.
 
@@ -239,7 +283,12 @@ def save_index(
     *manifest* at ``path`` that names one payload file per shard
     (``<stem>.shard<K>.json``, written next to the manifest), so shards can
     be inspected, copied, or re-hosted independently; :func:`load_index`
-    resolves the shard files relative to the manifest.
+    resolves the shard files relative to the manifest.  ``wal_position``
+    upgrades the manifest to a version-5 checkpoint snapshot.
+
+    Every file is replaced atomically (write-temp + fsync + rename), so a
+    crash mid-save can never leave a torn index file — the old snapshot
+    survives until the new one is durable.
     """
     path = Path(path)
     try:
@@ -248,14 +297,17 @@ def save_index(
             shard_files = []
             for position, shard in enumerate(index.shards):
                 shard_name = f"{path.stem}.shard{position}{path.suffix or '.json'}"
-                (path.parent / shard_name).write_text(
-                    json.dumps(index_to_dict(shard)), encoding="utf-8"
+                atomic_write_text(
+                    path.parent / shard_name, json.dumps(index_to_dict(shard))
                 )
                 shard_files.append(shard_name)
             manifest["shard_files"] = shard_files
-            path.write_text(json.dumps(manifest), encoding="utf-8")
+            _stamp_wal_position(manifest, wal_position)
+            atomic_write_text(path, json.dumps(manifest))
             return
-        path.write_text(json.dumps(index_to_dict(index)), encoding="utf-8")
+        atomic_write_text(
+            path, json.dumps(index_to_dict(index, wal_position=wal_position))
+        )
     except OSError as exc:
         raise SerializationError(f"cannot write index to {path}: {exc}") from exc
     except TypeError as exc:
@@ -283,7 +335,7 @@ def load_index(
         raise SerializationError(f"cannot load index from {path}: {exc}") from exc
     if (
         isinstance(data, dict)
-        and data.get("version") == SHARDED_INDEX_SCHEMA_VERSION
+        and data.get("version", 0) >= SHARDED_INDEX_SCHEMA_VERSION
         and "shard_files" in data
     ):
         shards = []

@@ -54,6 +54,7 @@ from .. import perf
 from ..exec import make_executor
 from ..perf import GLOBAL_COUNTERS, MemoCache, PerfCounters
 from ..search.results import PruningReport, SearchResult
+from ..store.epoch import EpochManager
 from .fragment_index import FragmentIndex, IndexStats, QueryFragment
 
 __all__ = [
@@ -352,6 +353,11 @@ class ShardedFragmentIndex:
                     f"shard 0 uses {first.backend_name!r}"
                 )
         self.shards: List[FragmentIndex] = shards
+        # Topology-level reader/writer isolation: scatter-gather searches
+        # pin this manager (one pin covers every shard they touch) and
+        # mutations take its write side, so a reader can never interleave
+        # with the multi-shard retirement protocol below.
+        self.epochs = EpochManager()
         self.counters = PerfCounters(mirror=GLOBAL_COUNTERS)
         # Distance cache for strategies built over the *merged* view (the
         # scatter-gather path uses each shard's own cache instead).
@@ -413,8 +419,9 @@ class ShardedFragmentIndex:
 
     def align_id_space(self, id_bound: int) -> None:
         """Align every shard to the same (global) graph-id bound."""
-        for shard in self.shards:
-            shard.align_id_bound(id_bound)
+        with self.epochs.write():
+            for shard in self.shards:
+                shard.align_id_bound(id_bound)
 
     # ------------------------------------------------------------------
     # sharding topology
@@ -611,15 +618,16 @@ class ShardedFragmentIndex:
         """
         owner_position = shard_of(graph_id, self.num_shards)
         owner = self.shards[owner_position]
-        total = (
-            owner.index_graph(graph_id, graph)
-            if permissive
-            else owner.add_graph(graph_id, graph)
-        )
-        for position, shard in enumerate(self.shards):
-            if position != owner_position:
-                shard.mark_retired(graph_id)
-        self._distance_cache.clear()
+        with self.epochs.write():
+            total = (
+                owner.index_graph(graph_id, graph)
+                if permissive
+                else owner.add_graph(graph_id, graph)
+            )
+            for position, shard in enumerate(self.shards):
+                if position != owner_position:
+                    shard.mark_retired(graph_id)
+            self._distance_cache.clear()
         return total
 
     def add_graph(self, graph_id: int, graph: LabeledGraph) -> int:
@@ -643,8 +651,9 @@ class ShardedFragmentIndex:
         owner = shard_of(graph_id, self.num_shards)
         if graph_id >= self.num_graphs:
             raise IndexError_(f"graph id {graph_id!r} is not a live indexed graph")
-        removed = self.shards[owner].remove_graph(graph_id)
-        self._distance_cache.clear()
+        with self.epochs.write():
+            removed = self.shards[owner].remove_graph(graph_id)
+            self._distance_cache.clear()
         return removed
 
     def remove_graphs(self, graph_ids: Iterable[int]) -> int:

@@ -112,6 +112,32 @@ class ServeClient:
             raise ServeError(f"search failed: {response.get('error')}")
         return response
 
+    def update(
+        self,
+        add: Optional[Any] = None,
+        remove: Optional[Any] = None,
+        reuse_ids: bool = False,
+    ) -> Dict[str, Any]:
+        """Apply one live mutation batch (removals first, then additions).
+
+        ``add`` is an iterable of :class:`~repro.core.graph.LabeledGraph`
+        (or their dict form), ``remove`` an iterable of graph ids.  Returns
+        the raw update response (``added`` ids, ``removed_entries``, the new
+        index ``generation``, and ``wal_lsn`` when the engine is durable).
+        """
+        payload: Dict[str, Any] = {"op": "update", "reuse_ids": bool(reuse_ids)}
+        if add is not None:
+            payload["add"] = [
+                graph.to_dict() if isinstance(graph, LabeledGraph) else graph
+                for graph in add
+            ]
+        if remove is not None:
+            payload["remove"] = [int(graph_id) for graph_id in remove]
+        response = self.request(payload)
+        if not response.get("ok"):
+            raise ServeError(f"update failed: {response.get('error')}")
+        return response
+
     def ping(self) -> bool:
         """Round-trip liveness check."""
         return bool(self.request({"op": "ping"}).get("ok"))

@@ -24,11 +24,20 @@ line, in order, per connection.  Requests::
     {"op": "search", "id": 7, "graph": {...LabeledGraph.to_dict()...}, "sigma": 2.0}
     {"op": "ping", "id": 8}
     {"op": "stats", "id": 9}
+    {"op": "update", "id": 10, "add": [{...graph...}], "remove": [3, 17],
+     "reuse_ids": false}
 
 Search responses carry ``answers`` (graph ids), ``distances`` (exact
 per-answer distances), candidate/answer counts, phase timings, and
 ``cached``.  Errors never kill the connection: a malformed line gets an
 ``{"ok": false, "error": ...}`` response and the next line is processed.
+
+``update`` applies one mutation batch (removals first, then additions) to
+the live engine under its exclusive write epoch: queries admitted before
+the update see the pre-batch index, queries admitted after see the
+post-batch one, and nothing ever observes a half-applied batch.  With a
+WAL-attached engine the batch is fsync'd to the log before it applies, so
+a crashed server loses nothing that was acknowledged.
 
 Concurrency comes from connections: each connection is served in order
 (JSON-lines has no request multiplexing), and N concurrent clients are N
@@ -274,6 +283,8 @@ class QueryServer:
             return {"id": request_id, "ok": True, "op": "ping"}
         if op == "stats":
             return {"id": request_id, "ok": True, "op": "stats", "stats": self.stats()}
+        if op == "update":
+            return await self._respond_update(request, request_id)
         if op != "search":
             return {"id": request_id, "ok": False, "error": f"unknown op {op!r}"}
         try:
@@ -290,6 +301,64 @@ class QueryServer:
         except PISError as exc:
             return {"id": request_id, "ok": False, "error": str(exc)}
         return search_response(result, request_id)
+
+    async def _respond_update(
+        self, request: Dict[str, Any], request_id: Any
+    ) -> Dict[str, Any]:
+        """Apply one live mutation batch (removals, then additions)."""
+        try:
+            removals = [int(graph_id) for graph_id in request.get("remove") or []]
+            additions = [
+                LabeledGraph.from_dict(graph_data)
+                for graph_data in request.get("add") or []
+            ]
+            reuse_ids = bool(request.get("reuse_ids", False))
+        except (TypeError, ValueError, PISError) as exc:
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": f"bad update request: {exc}",
+            }
+        if not removals and not additions:
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": "empty update: pass 'add' graphs and/or 'remove' ids",
+            }
+
+        def apply() -> Dict[str, Any]:
+            removed_entries = (
+                self.engine.remove_graphs(removals) if removals else 0
+            )
+            added_ids = (
+                self.engine.add_graphs(additions, reuse_ids=reuse_ids)
+                if additions
+                else []
+            )
+            return {
+                "added": list(added_ids),
+                "removed": len(removals),
+                "removed_entries": removed_entries,
+            }
+
+        try:
+            # Runs in a worker thread: the exclusive write epoch inside
+            # add/remove serializes against in-flight search batches
+            # without stalling the event loop.
+            outcome = await asyncio.to_thread(apply)
+        except PISError as exc:
+            return {"id": request_id, "ok": False, "error": str(exc)}
+        self.counters.increment("serve.updates")
+        response = {
+            "id": request_id,
+            "ok": True,
+            "op": "update",
+            "generation": self.engine.index.generation,
+            **outcome,
+        }
+        if self.engine.wal is not None:
+            response["wal_lsn"] = self.engine.wal_applied_lsn
+        return response
 
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter

@@ -1,0 +1,21 @@
+"""Durability primitives: atomic file replacement, write-ahead log, epochs.
+
+This package sits below the index and engine layers: :mod:`repro.store.wal`
+makes mutation batches crash-safe, :mod:`repro.store.epoch` makes them safe
+against concurrent readers, and :mod:`repro.store.atomic` is the shared
+write-temp + fsync + rename helper every snapshot rewrite goes through.
+"""
+
+from .atomic import atomic_write_text, fsync_dir
+from .epoch import EpochManager
+from .wal import CRASH_ENV_VAR, CRASH_MODE_ENV_VAR, WalRecord, WriteAheadLog
+
+__all__ = [
+    "atomic_write_text",
+    "fsync_dir",
+    "EpochManager",
+    "WalRecord",
+    "WriteAheadLog",
+    "CRASH_ENV_VAR",
+    "CRASH_MODE_ENV_VAR",
+]

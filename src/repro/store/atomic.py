@@ -1,0 +1,64 @@
+"""Crash-safe file replacement.
+
+``truncate-then-write`` (the naive ``Path.write_text``) has a window where a
+crash leaves the *only* copy of a file empty or half-written.  Everything in
+the durability layer — WAL segments, engine snapshots, database files — goes
+through :func:`atomic_write_text` instead: write a temporary sibling, fsync
+it, then :func:`os.replace` it over the destination (atomic on POSIX), and
+finally fsync the directory so the rename itself survives a power cut.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text", "fsync_dir"]
+
+
+def fsync_dir(path) -> None:
+    """fsync a directory so renames/creates inside it are durable.
+
+    Best-effort: some platforms (and some filesystems) refuse ``open`` on a
+    directory; durability then degrades to the data-file fsync, which is the
+    pre-existing behaviour everywhere else in the codebase.
+    """
+
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Replace ``path`` with ``text`` atomically.
+
+    The temporary file lives in the same directory as ``path`` so the final
+    ``os.replace`` never crosses a filesystem boundary.  On any failure the
+    temporary file is removed and the original file is left untouched.
+    """
+
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=target.name + ".", suffix=".tmp", dir=str(target.parent)
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, str(target))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_dir(target.parent)

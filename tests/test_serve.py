@@ -499,3 +499,92 @@ def test_engine_config_serving_knobs_round_trip():
         EngineConfig(serve_batch_window_ms=-0.1)
     with pytest.raises(EngineConfigError):
         EngineConfig(serve_max_batch=0)
+
+
+# ----------------------------------------------------------------------
+# live mutation through the serve protocol (PR 7)
+# ----------------------------------------------------------------------
+def test_query_server_update_op(serve_database, serve_queries):
+    engine = Engine.build(serve_database)
+    rng = random.Random(71)
+    additions = [
+        random_molecule(rng, num_vertices=6, extra_edges=1) for _ in range(2)
+    ]
+    query = serve_queries[0]
+
+    async def run():
+        server = QueryServer(engine, batch_window_ms=5.0)
+        stop = asyncio.Event()
+        address = {}
+        task = asyncio.create_task(
+            server.serve_forever(
+                port=0,
+                ready=lambda host, port: address.update(host=host, port=port),
+                stop=stop,
+            )
+        )
+        while not address:
+            await asyncio.sleep(0.01)
+
+        def client_session():
+            with ServeClient(address["host"], address["port"]) as client:
+                before = client.search(query, 2.0)
+                response = client.update(
+                    add=additions, remove=[3, 7], reuse_ids=True
+                )
+                after = client.search(query, 2.0)
+                # malformed updates answer with an error, not a hangup
+                empty = client.request({"op": "update"})
+                assert not empty["ok"] and "empty update" in empty["error"]
+                bad = client.request({"op": "update", "remove": ["x"]})
+                assert not bad["ok"]
+                missing = client.request({"op": "update", "remove": [999]})
+                assert not missing["ok"]
+                stats = client.stats()
+                return before, response, after, stats
+
+        outcome = await asyncio.to_thread(client_session)
+        stop.set()
+        await task
+        return outcome
+
+    before, response, after, stats = asyncio.run(run())
+    assert response["ok"] and response["op"] == "update"
+    assert response["added"] == [3, 7]  # reuse_ids lands on the freed slots
+    assert response["removed"] == 2 and response["removed_entries"] > 0
+    assert response["generation"] == engine.index.generation
+    assert "wal_lsn" not in response  # no WAL attached in durability="none"
+    assert stats["server"]["counters"]["serve.updates"] == 1
+    # the post-update answers match a direct search on the mutated engine
+    direct = engine.search(query, 2.0)
+    assert after["answers"] == direct.answer_ids
+    assert before["ok"] and after["ok"]
+
+
+def test_query_server_update_reports_wal_position(tmp_path, serve_database, serve_queries):
+    engine = Engine.build(
+        serve_database, EngineConfig(durability="wal")
+    )
+    engine_path = tmp_path / "engine.json"
+    engine.attach_wal(Engine.wal_path_for(engine_path))
+    engine.checkpoint(engine_path, database_path=tmp_path / "db.json")
+
+    async def run():
+        server = QueryServer(engine, batch_window_ms=5.0)
+        async with server:
+            request = {
+                "op": "update",
+                "id": 1,
+                "remove": [1],
+            }
+            response = await server._respond(
+                json.dumps(request).encode("utf-8")
+            )
+        return response
+
+    response = asyncio.run(run())
+    assert response["ok"]
+    assert response["wal_lsn"] == 1
+    # the batch is on disk before the server even acknowledged it
+    records = list(engine.wal.records())
+    assert [(r.lsn, r.op) for r in records] == [(1, "remove")]

@@ -710,3 +710,153 @@ class TestShardedCLI:
             ]
         ) == 0
         assert "(serial, workers=2)" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# epoch isolation + crash recovery on the sharded topology (PR 7)
+# ----------------------------------------------------------------------
+class TestShardedEpochIsolation:
+    """Concurrent readers vs. a batch writer on a 4-shard engine.
+
+    The sharded index has one topology-level :class:`EpochManager`; a
+    scatter-gather pins it once, so a mutation batch that touches several
+    shards (routing an insert, retiring an id everywhere) is still atomic
+    from any reader's point of view.
+    """
+
+    @pytest.fixture()
+    def sharded_mutable(self):
+        database = generate_chemical_database(16, seed=11)
+        return Engine.build(
+            database,
+            EngineConfig(selector_params=dict(SELECTOR_PARAMS), shards=4),
+        )
+
+    def scripted_batches(self):
+        delta_a = generate_chemical_database(2, seed=31)
+        delta_b = generate_chemical_database(3, seed=32)
+        return [
+            lambda e: e.remove_graphs([2, 5]),
+            lambda e: e.add_graphs(list(delta_a), reuse_ids=True),
+            lambda e: e.remove_graphs([7]),
+            lambda e: e.add_graphs(list(delta_b)),
+        ]
+
+    def run_schedule(self, engine, queries, sigma=2.0, readers=2):
+        import pickle
+        import threading
+        import time
+
+        batches = self.scripted_batches()
+        clone = pickle.loads(pickle.dumps(engine))
+        allowed = [
+            [answers_payload(clone.search(query, sigma))] for query in queries
+        ]
+        for apply_batch in batches:
+            apply_batch(clone)
+            for position, query in enumerate(queries):
+                payload = answers_payload(clone.search(query, sigma))
+                if payload not in allowed[position]:
+                    allowed[position].append(payload)
+
+        violations = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                for position, query in enumerate(queries):
+                    payload = answers_payload(engine.search(query, sigma))
+                    if payload not in allowed[position]:
+                        violations.append((position, payload))
+
+        threads = [threading.Thread(target=reader) for _ in range(readers)]
+        for thread in threads:
+            thread.start()
+        try:
+            for apply_batch in batches:
+                time.sleep(0.02)
+                apply_batch(engine)
+            time.sleep(0.02)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(10)
+        return violations
+
+    def test_scatter_gather_never_sees_partial_batches(self, sharded_mutable):
+        queries = QueryWorkload(
+            sharded_mutable.database, seed=5
+        ).sample_queries(4, 2)
+        epoch_before = sharded_mutable.index.epochs.current
+        violations = self.run_schedule(sharded_mutable, queries)
+        assert violations == []
+        assert (
+            sharded_mutable.index.epochs.current
+            == epoch_before + len(self.scripted_batches())
+        )
+
+    def test_scatter_gather_isolated_without_optimizations(
+        self, sharded_mutable
+    ):
+        queries = QueryWorkload(
+            sharded_mutable.database, seed=5
+        ).sample_queries(4, 2)
+        with optimizations_disabled():
+            violations = self.run_schedule(sharded_mutable, queries)
+        assert violations == []
+
+
+class TestShardedCrashRecovery:
+    """Kill-at-every-record-boundary on the 4-shard manifest layout."""
+
+    def test_recovery_matches_staged_references(self, tmp_path):
+        import pickle
+        import shutil
+
+        database = generate_chemical_database(14, seed=11)
+        config = EngineConfig(
+            selector_params=dict(SELECTOR_PARAMS), shards=4, durability="wal"
+        )
+        engine = Engine.build(database, config)
+        base = tmp_path / "base"
+        base.mkdir()
+        engine.attach_wal(Engine.wal_path_for(base / "engine.json"))
+        engine.checkpoint(base / "engine.json", database_path=base / "db.json")
+        query = QueryWorkload(database, seed=5).sample_queries(4, 1)[0]
+        delta = generate_chemical_database(3, seed=31)
+        batches = [
+            lambda e: e.remove_graphs([2, 9]),
+            lambda e: e.add_graphs(list(delta), reuse_ids=True),
+        ]
+
+        # staged references: answers after each committed batch
+        clone = pickle.loads(pickle.dumps(engine))
+        staged = [answers_payload(clone.search(query, 2.0))]
+        for apply_batch in batches:
+            apply_batch(clone)
+            staged.append(answers_payload(clone.search(query, 2.0)))
+
+        for kill_point in range(len(batches) + 1):
+            crash_dir = tmp_path / f"crash-{kill_point}"
+            crash_dir.mkdir()
+            shutil.copy(base / "db.json", crash_dir / "db.json")
+            shutil.copy(base / "engine.json", crash_dir / "engine.json")
+            shutil.copytree(
+                Engine.wal_path_for(base / "engine.json"),
+                Engine.wal_path_for(crash_dir / "engine.json"),
+            )
+            crashed_db = GraphDatabase.load(crash_dir / "db.json")
+            crashed = Engine.load(crash_dir / "engine.json", crashed_db)
+            for apply_batch in batches[:kill_point]:
+                apply_batch(crashed)
+            del crashed  # crash: the log is ahead of every file
+
+            recovered_db = GraphDatabase.load(crash_dir / "db.json")
+            recovered = Engine.load(crash_dir / "engine.json", recovered_db)
+            assert recovered.wal_applied_lsn == kill_point
+            assert recovered.is_sharded
+            assert recovered.index.num_shards == 4
+            assert (
+                answers_payload(recovered.search(query, 2.0))
+                == staged[kill_point]
+            )

@@ -738,3 +738,228 @@ class TestCLIUpdate:
             == 2
         )
         assert "integer ids" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# epoch-based reader/writer isolation (PR 7)
+# ----------------------------------------------------------------------
+def run_epoch_schedule(engine, batches, queries, sigma=2.0, readers=2):
+    """Concurrent readers vs. a batch writer; returns isolation violations.
+
+    Stage snapshots are captured on a pickled clone (one per batch
+    boundary); reader threads then hammer ``search`` while the main thread
+    applies the batches to the live engine.  Under epoch isolation every
+    observed result must equal one of the boundary snapshots — a
+    half-applied batch would produce a payload outside the set.
+    """
+    import pickle
+    import threading
+    import time
+
+    clone = pickle.loads(pickle.dumps(engine))
+    allowed = [[answers_payload(clone.search(query, sigma))] for query in queries]
+    for apply_batch in batches:
+        apply_batch(clone)
+        for position, query in enumerate(queries):
+            payload = answers_payload(clone.search(query, sigma))
+            if payload not in allowed[position]:
+                allowed[position].append(payload)
+
+    violations = []
+    stop = threading.Event()
+
+    def reader():
+        while not stop.is_set():
+            for position, query in enumerate(queries):
+                payload = answers_payload(engine.search(query, sigma))
+                if payload not in allowed[position]:
+                    violations.append((position, payload))
+
+    threads = [threading.Thread(target=reader) for _ in range(readers)]
+    for thread in threads:
+        thread.start()
+    try:
+        for apply_batch in batches:
+            time.sleep(0.02)  # let readers observe the pre-batch state
+            apply_batch(engine)
+        time.sleep(0.02)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(10)
+    return violations
+
+
+def scripted_batches():
+    delta_a = generate_chemical_database(2, seed=31)
+    delta_b = generate_chemical_database(3, seed=32)
+    return [
+        lambda e: e.remove_graphs([2, 5]),
+        lambda e: e.add_graphs(list(delta_a), reuse_ids=True),
+        lambda e: e.remove_graphs([7]),
+        lambda e: e.add_graphs(list(delta_b)),
+    ]
+
+
+class TestEpochIsolation:
+    @pytest.fixture()
+    def mutable_engine(self):
+        database = generate_chemical_database(16, seed=11)
+        return Engine.build(
+            database, EngineConfig(selector_params=dict(SELECTOR_PARAMS))
+        )
+
+    def test_concurrent_readers_never_see_partial_batches(self, mutable_engine):
+        queries = QueryWorkload(
+            mutable_engine.database, seed=5
+        ).sample_queries(4, 2)
+        batches = scripted_batches()
+        epoch_before = mutable_engine.index.epochs.current
+        violations = run_epoch_schedule(mutable_engine, batches, queries)
+        assert violations == []
+        # every batch bumped the epoch exactly once
+        assert mutable_engine.index.epochs.current == epoch_before + len(batches)
+
+    def test_concurrent_readers_isolated_without_optimizations(
+        self, mutable_engine
+    ):
+        queries = QueryWorkload(
+            mutable_engine.database, seed=5
+        ).sample_queries(4, 2)
+        with optimizations_disabled():
+            violations = run_epoch_schedule(
+                mutable_engine, scripted_batches(), queries
+            )
+        assert violations == []
+
+    def test_writer_blocks_while_reader_is_pinned(self, mutable_engine):
+        import threading
+
+        epochs = mutable_engine.index.epochs
+        entered = threading.Event()
+        with epochs.read():
+            writer = threading.Thread(
+                target=lambda: (
+                    mutable_engine.remove_graphs([0]),
+                    entered.set(),
+                )
+            )
+            writer.start()
+            assert not entered.wait(0.1)  # parked behind the read pin
+        writer.join(10)
+        assert entered.is_set()
+        assert 0 not in mutable_engine.database
+
+
+# ----------------------------------------------------------------------
+# CLI: pis update --wal / pis recover (PR 7)
+# ----------------------------------------------------------------------
+class TestCLIDurableUpdate:
+    def make_files(self, tmp_path):
+        db = tmp_path / "db.json"
+        delta = tmp_path / "delta.json"
+        engine = tmp_path / "engine.json"
+        assert cli_main(
+            ["generate", "--count", "15", "--seed", "3", "--output", str(db)]
+        ) == 0
+        assert cli_main(
+            ["generate", "--count", "3", "--seed", "9", "--output", str(delta)]
+        ) == 0
+        assert cli_main(
+            [
+                "index",
+                "--database", str(db),
+                "--max-edges", "3",
+                "--engine-output", str(engine),
+            ]
+        ) == 0
+        return db, delta, engine
+
+    def test_wal_update_checkpoints_and_prunes(self, tmp_path, capsys):
+        db, delta, engine = self.make_files(tmp_path)
+        capsys.readouterr()
+        assert cli_main(
+            [
+                "update",
+                "--database", str(db),
+                "--engine", str(engine),
+                "--add", str(delta),
+                "--remove", "1,4",
+                "--wal",
+            ]
+        ) == 0
+        assert "removed 2 graphs" in capsys.readouterr().out
+        wal_dir = tmp_path / "engine.json.wal"
+        assert wal_dir.is_dir()
+        from repro.store import WriteAheadLog
+
+        wal = WriteAheadLog(wal_dir)
+        assert list(wal.records()) == []  # checkpoint folded + pruned the log
+        assert wal.committed_lsn == 2
+        # both snapshots record the checkpointed position
+        assert json.loads(db.read_text())["wal"] == {"committed_lsn": 2}
+        assert json.loads(engine.read_text())["index"]["wal"] == {
+            "committed_lsn": 2
+        }
+        # the durable pair still answers queries correctly
+        assert cli_main(
+            [
+                "query",
+                "--database", str(db),
+                "--engine", str(engine),
+                "--edges", "4",
+                "--count", "1",
+                "--sigma", "1",
+                "--compare-naive",
+            ]
+        ) == 0
+        assert "naive-agrees=True" in capsys.readouterr().out
+
+    def test_recover_after_clean_update_is_a_noop(self, tmp_path, capsys):
+        db, delta, engine = self.make_files(tmp_path)
+        assert cli_main(
+            [
+                "update",
+                "--database", str(db),
+                "--engine", str(engine),
+                "--add", str(delta),
+                "--wal",
+            ]
+        ) == 0
+        before = (db.read_bytes(), engine.read_bytes())
+        capsys.readouterr()
+        assert cli_main(
+            ["recover", "--database", str(db), "--engine", str(engine)]
+        ) == 0
+        assert "recovered to WAL record 1" in capsys.readouterr().out
+        assert (db.read_bytes(), engine.read_bytes()) == before
+
+    def test_recover_replays_an_uncheckpointed_log(self, tmp_path, capsys):
+        db, delta, engine = self.make_files(tmp_path)
+        # run the mutation through the API, skipping the checkpoint — the
+        # same on-disk shape a crash right after the last fsync leaves
+        database = GraphDatabase.load(db)
+        live = Engine.load(engine, database, durability="wal")
+        live.remove_graphs([1, 4])
+        live.add_graphs(list(GraphDatabase.load(delta)), reuse_ids=True)
+        del live
+        capsys.readouterr()
+        assert cli_main(
+            ["recover", "--database", str(db), "--engine", str(engine)]
+        ) == 0
+        assert "recovered to WAL record 2" in capsys.readouterr().out
+        recovered = GraphDatabase.load(db)
+        assert recovered.removed_ids() == []  # reused slots are live again
+        assert recovered.id_bound == 16
+        assert cli_main(
+            [
+                "query",
+                "--database", str(db),
+                "--engine", str(engine),
+                "--edges", "4",
+                "--count", "1",
+                "--sigma", "1",
+                "--compare-naive",
+            ]
+        ) == 0
+        assert "naive-agrees=True" in capsys.readouterr().out
