@@ -94,13 +94,13 @@ def emit(table):
 
 
 # ----------------------------------------------------------------------
-# machine-readable benchmark results (benchmarks/history/BENCH_pr7.json)
+# machine-readable benchmark results (benchmarks/history/BENCH_pr8.json)
 # ----------------------------------------------------------------------
 #: per-benchmark records accumulated during this process
 _RESULTS: Dict[str, Dict[str, Any]] = {}
 
 #: default benchmark document, kept with the earlier checkpoints
-DEFAULT_BENCH_OUTPUT = Path("benchmarks") / "history" / "BENCH_pr7.json"
+DEFAULT_BENCH_OUTPUT = Path("benchmarks") / "history" / "BENCH_pr8.json"
 
 
 def bench_output_path() -> Path:

@@ -45,6 +45,15 @@ calls, and the warm pass must be at least ``--min-serving-speedup``
 (default 5×) faster than the cold one.  A cache hit needs no parallel
 hardware, so this floor is enforced on every machine.
 
+A **mixed serving workload** (PR 8) protects admission control:
+``serving_mixed`` storms a tiny-queue (``serve_max_queue``-bounded) server
+with concurrent search bursts plus a mutating ``update`` client, and gates
+on hardware-independent invariants instead of a speedup — every submitted
+request is answered or reported shed (none lost), the queue high-water
+mark stays within the bound, and the final database/index state and a
+post-storm query pass are byte-identical to a *serial* replay of the same
+mutation batches on a control engine.
+
 It asserts the two paths return **identical candidate sets** (filter
 workloads) and **identical answer ids and distances** (verify, update,
 sharding, and serving workloads), records the speedups plus counter deltas
@@ -94,7 +103,7 @@ from repro.index.persistence import index_to_dict  # noqa: E402
 from repro.index.sharded import ShardedFragmentIndex  # noqa: E402
 from repro.perf import GLOBAL_COUNTERS, optimizations_disabled  # noqa: E402
 from repro.search.pis import PISearch  # noqa: E402
-from repro.serve import QueryServer  # noqa: E402
+from repro.serve import QueryServer, ServeOverloadedError  # noqa: E402
 
 import bench_common  # noqa: E402
 from bench_common import full_bench_config, quick_bench_config  # noqa: E402
@@ -120,6 +129,10 @@ SHARDED_BUILD_WORKLOAD = ("sharded_build", 4)
 
 #: the serving workload: (name, query edges, sigma, concurrent clients)
 SERVING_WORKLOAD = ("serving_throughput", 16, 2.0, 4)
+
+#: the mixed read/write serving workload:
+#: (name, query edges, sigma, search clients, update batches, max queue)
+SERVING_MIXED_WORKLOAD = ("serving_mixed", 12, 2.0, 4, 3, 3)
 
 #: workloads whose *speedup* floors need real parallel hardware; their
 #: byte-identity checks are enforced everywhere regardless
@@ -524,6 +537,156 @@ def run_serving_workload(environment, name, query_edges, sigma, clients):
     return record
 
 
+def run_serving_mixed_workload(
+    environment, name, query_edges, sigma, clients, update_batches, max_queue
+):
+    """Sustained mixed read/write traffic against a *tiny-queue* server.
+
+    ``clients`` concurrent search clients fire their query slices in
+    bursts (every query of a slice submitted at once) against an
+    in-process :class:`repro.serve.QueryServer` whose submission queue is
+    bounded at ``max_queue`` — small enough that admission control sheds
+    part of the burst — while one update client applies a deterministic
+    sequence of mutation batches through :meth:`QueryServer.update`.
+
+    The gate enforces two hardware-independent invariants instead of a
+    speedup floor:
+
+    * **shed correctness** — every submitted query is either answered or
+      reported shed (``submitted == answered + shed``, ``lost == 0``),
+      the server's own accepted/shed counters agree with the clients'
+      tallies, and the queue high-water mark never exceeds ``max_queue``;
+    * **byte identity** — after the storm, the server's database and
+      index serialize byte-identically to a control engine that replayed
+      the same mutation batches *serially*, and a final query pass
+      answers byte-identically to fresh searches on that control engine.
+    """
+    queries = environment.workload.sample_queries(
+        num_edges=query_edges, count=environment.config.queries_per_set
+    )
+    database = copy.deepcopy(environment.database)
+    index = copy.deepcopy(environment.index)
+    engine = Engine.from_index(database, index)
+    control_database = copy.deepcopy(environment.database)
+    control_index = copy.deepcopy(environment.index)
+    control_engine = Engine.from_index(control_database, control_index)
+
+    # Deterministic mutation batches: remove pairs of original ids (both
+    # sides start with them), add pairs of generated graphs.  The update
+    # client applies them in order, so the live engine and the serial
+    # control replay see the identical mutation sequence.
+    victims = sorted(environment.database.graph_ids())
+    newcomers = list(
+        generate_chemical_database(2 * update_batches, seed=777)
+    )
+    batches = [
+        (
+            newcomers[2 * position : 2 * position + 2],
+            victims[2 * position : 2 * position + 2],
+        )
+        for position in range(update_batches)
+    ]
+    slices = [queries[position::clients] for position in range(clients)]
+    rounds = 2
+
+    async def run():
+        server = QueryServer(engine, batch_window_ms=1.0, max_queue=max_queue)
+        async with server:
+
+            async def search_client(slice_):
+                tally = {"submitted": 0, "answered": 0, "shed": 0}
+
+                async def one(query):
+                    try:
+                        await server.submit(query, sigma)
+                        tally["answered"] += 1
+                    except ServeOverloadedError:
+                        tally["shed"] += 1
+
+                for _ in range(rounds):
+                    tally["submitted"] += len(slice_)
+                    # The whole slice at once: the burst overruns the
+                    # tiny queue, so admission control must shed.
+                    await asyncio.gather(*(one(query) for query in slice_))
+                return tally
+
+            async def update_client():
+                for additions, removals in batches:
+                    await server.update(add=additions, remove=removals)
+
+            start = time.perf_counter()
+            gathered = await asyncio.gather(
+                update_client(), *(search_client(slice_) for slice_ in slices)
+            )
+            elapsed = time.perf_counter() - start
+            # Post-storm verification pass: serial submits cannot be
+            # shed, so every query has a served answer to compare.
+            final_results = [
+                await server.submit(query, sigma) for query in queries
+            ]
+            server_stats = server.stats()["server"]
+        return gathered[1:], final_results, server_stats, elapsed
+
+    tallies, final_results, server_stats, elapsed = asyncio.run(run())
+    submitted = sum(tally["submitted"] for tally in tallies)
+    answered = sum(tally["answered"] for tally in tallies)
+    shed = sum(tally["shed"] for tally in tallies)
+    lost = submitted - answered - shed
+
+    # Serial control replay: the same mutation batches, in the same
+    # order, with no concurrency anywhere.
+    for additions, removals in batches:
+        control_engine.remove_graphs(removals)
+        control_engine.add_graphs(additions)
+    control_results = [
+        control_engine.search(query, sigma) for query in queries
+    ]
+    final_answers = _answers_payload(final_results)
+    answers_identical = final_answers == _answers_payload(control_results)
+    live_state = json.dumps(
+        [database.to_dict(), index_to_dict(index)]
+    ).encode("utf-8")
+    control_state = json.dumps(
+        [control_database.to_dict(), index_to_dict(control_index)]
+    ).encode("utf-8")
+    state_identical = live_state == control_state
+    counters_agree = (
+        server_stats["shed"] == shed
+        and server_stats["accepted"] == answered + len(queries)
+    )
+
+    record = {
+        "query_edges": query_edges,
+        "num_queries": len(queries),
+        "sigma": sigma,
+        "clients": clients,
+        "rounds": rounds,
+        "update_batches": update_batches,
+        "max_queue": max_queue,
+        "elapsed_seconds": round(elapsed, 6),
+        "throughput_qps": round(answered / max(elapsed, 1e-9), 3),
+        "submitted": submitted,
+        "answered": answered,
+        "shed": shed,
+        "lost": lost,
+        "queue_high_water": server_stats["queue_high_water"],
+        "server_counters_agree": counters_agree,
+        "final_state_identical": state_identical,
+        "answers_identical": answers_identical,
+        "answers_sha256": hashlib.sha256(
+            json.dumps(final_answers).encode("utf-8")
+        ).hexdigest(),
+        "state_sha256": hashlib.sha256(live_state).hexdigest(),
+    }
+    print(
+        f"{name}: {submitted} submitted = {answered} answered + {shed} shed "
+        f"({lost} lost), high-water {record['queue_high_water']}/{max_queue}, "
+        f"state-identical={state_identical}, "
+        f"answers-identical={answers_identical}"
+    )
+    return record
+
+
 def run_workload(environment, name, query_edges, sigmas, rounds):
     """Measure one workload in legacy and optimized mode; return its record."""
     queries = environment.workload.sample_queries(
@@ -765,6 +928,51 @@ def main(argv=None) -> int:
             f"{arguments.min_serving_speedup:.2f}x"
         )
 
+    (
+        mixed_name,
+        mixed_edges,
+        mixed_sigma,
+        mixed_clients,
+        mixed_batches,
+        mixed_max_queue,
+    ) = SERVING_MIXED_WORKLOAD
+    mixed_record = run_serving_mixed_workload(
+        environment,
+        mixed_name,
+        mixed_edges,
+        mixed_sigma,
+        mixed_clients,
+        mixed_batches,
+        mixed_max_queue,
+    )
+    gate["workloads"][mixed_name] = mixed_record
+    if mixed_record["lost"] != 0:
+        failures.append(
+            f"{mixed_name}: {mixed_record['lost']} submitted requests were "
+            "neither answered nor reported shed"
+        )
+    if not mixed_record["server_counters_agree"]:
+        failures.append(
+            f"{mixed_name}: server accepted/shed counters disagree with the "
+            "clients' tallies"
+        )
+    if mixed_record["queue_high_water"] > mixed_max_queue:
+        failures.append(
+            f"{mixed_name}: queue high-water "
+            f"{mixed_record['queue_high_water']} exceeded "
+            f"serve_max_queue={mixed_max_queue}"
+        )
+    if not mixed_record["final_state_identical"]:
+        failures.append(
+            f"{mixed_name}: final database/index state differs from a serial "
+            "replay of the same mutation batches"
+        )
+    if not mixed_record["answers_identical"]:
+        failures.append(
+            f"{mixed_name}: post-storm answers differ from fresh searches on "
+            "the serially replayed control engine"
+        )
+
     pruning = gate["workloads"]["pruning_cost"]
     if pruning["speedup"] < arguments.min_speedup:
         failures.append(
@@ -811,6 +1019,8 @@ def main(argv=None) -> int:
             "workloads": {
                 name: {"speedup": record["speedup"]}
                 for name, record in gate["workloads"].items()
+                if "speedup" in record  # serving_mixed gates invariants,
+                # not a speedup, so it carries no baseline entry
             },
         }
         arguments.write_baseline.write_text(

@@ -315,6 +315,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="query-result cache capacity; 0 disables the cache "
         "(default: the engine config's result_cache_size)",
     )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="submission-queue bound before requests are shed as "
+        "'overloaded'; 0 disables shedding (default: the engine "
+        "config's serve_max_queue)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="per-connection pipelining cap; 0 means unlimited "
+        "(default: the engine config's serve_max_inflight_per_conn)",
+    )
+    serve.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=None,
+        help="largest accepted request line; longer lines are discarded "
+        "and answered with a 'too_large' error (default: the engine "
+        "config's serve_max_request_bytes)",
+    )
 
     bench_serve = subparsers.add_parser(
         "bench-serve", help="drive a running query server with concurrent clients"
@@ -363,6 +386,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=15.0,
         help="how long to wait for the server to accept connections",
+    )
+    bench_serve.add_argument(
+        "--retries",
+        type=int,
+        default=8,
+        help="bounded exponential-backoff retries per request when the "
+        "server sheds it as overloaded",
     )
 
     experiments = subparsers.add_parser(
@@ -642,6 +672,9 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         engine,
         batch_window_ms=arguments.batch_window_ms,
         max_batch=arguments.max_batch,
+        max_queue=arguments.max_queue,
+        max_inflight_per_conn=arguments.max_inflight,
+        max_request_bytes=arguments.max_request_bytes,
     )
 
     async def run() -> None:
@@ -717,7 +750,10 @@ def _command_bench_serve(arguments: argparse.Namespace) -> int:
     def client_task(slice_):
         responses = []
         with ServeClient(
-            host, port, connect_timeout=arguments.connect_timeout
+            host,
+            port,
+            connect_timeout=arguments.connect_timeout,
+            max_retries=arguments.retries,
         ) as client:
             for _ in range(arguments.rounds):
                 for position, query in slice_:
@@ -740,6 +776,12 @@ def _command_bench_serve(arguments: argparse.Namespace) -> int:
         f"bench-serve: {len(responses)} requests from {arguments.clients} "
         f"clients in {elapsed:.3f}s ({qps:.1f} qps, {cached} cached)"
     )
+    with ServeClient(
+        host, port, connect_timeout=arguments.connect_timeout
+    ) as client:
+        metrics = client.stats()["server"]
+    print("metrics:")
+    print(json.dumps(metrics, indent=2, sort_keys=True))
     if reference is not None:
         identical = all(
             response["answers"] == reference[position].answer_ids

@@ -26,6 +26,8 @@ __all__ = [
     "EngineConfigError",
     "UnknownComponentError",
     "ServeError",
+    "ServeOverloadedError",
+    "ServeShuttingDownError",
     "WalError",
     "WalCorruptionError",
 ]
@@ -120,6 +122,30 @@ class EngineConfigError(EngineError, ValueError):
 
 class ServeError(EngineError):
     """Errors raised by the serving subsystem (:mod:`repro.serve`)."""
+
+
+class ServeOverloadedError(ServeError):
+    """A request was shed by admission control (the server is overloaded).
+
+    Shedding happens *before* any work runs, so a shed request had no
+    effect and is always safe to retry; ``retryable`` records that so
+    generic handlers can branch on it without string-matching.
+    :class:`repro.serve.ServeClient` raises this after its (optional)
+    bounded exponential-backoff retries are exhausted.
+    """
+
+    retryable = True
+
+
+class ServeShuttingDownError(ServeError):
+    """A request arrived while the server was draining for shutdown.
+
+    Like an overload shed, the request was rejected before any work ran —
+    but the server is going away, so retrying against the same connection
+    cannot succeed (``retryable`` is false).
+    """
+
+    retryable = False
 
 
 class WalError(PISError):

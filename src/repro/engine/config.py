@@ -98,6 +98,25 @@ start`); ``0`` disables it even there.  Entries are keyed by query
     serve_max_batch:
         Default batch-size cap of the query server; a full batch
         dispatches immediately without waiting out the window.
+    serve_max_queue:
+        Admission-control bound of the query server's submission queue.
+        A query arriving while ``serve_max_queue`` submissions are already
+        waiting is *shed* — rejected immediately with a retryable
+        ``overloaded`` error — instead of buffering without bound.  ``0``
+        disables the bound (the pre-admission-control behaviour).
+    serve_max_inflight_per_conn:
+        Per-connection pipelining cap of the TCP front: how many requests
+        of one connection may be in flight at once.  When a connection
+        reaches the cap the server stops reading its socket until a
+        response completes (TCP flow control pushes the backpressure to
+        the client), so one pipelining client cannot monopolize the
+        submission queue.  ``0`` removes the cap.
+    serve_max_request_bytes:
+        Largest request line (one JSON object) the TCP front accepts.
+        Longer lines are discarded without buffering them and answered
+        with a structured ``too_large`` error — the connection survives.
+        The server frames lines itself, so requests above asyncio's
+        default 64 KiB stream limit are fine up to this bound.
     durability:
         Mutation durability mode: ``"none"`` (the default — mutations
         apply in memory only, exactly the pre-WAL behaviour) or ``"wal"``
@@ -124,6 +143,9 @@ start`); ``0`` disables it even there.  Entries are keyed by query
     result_cache_size: int = 1024
     serve_batch_window_ms: float = 2.0
     serve_max_batch: int = 32
+    serve_max_queue: int = 1024
+    serve_max_inflight_per_conn: int = 32
+    serve_max_request_bytes: int = 1_048_576
     durability: str = "none"
 
     def __post_init__(self):
@@ -192,6 +214,20 @@ start`); ``0`` disables it even there.  Entries are keyed by query
                 f"serve_max_batch must be an int >= 1, "
                 f"got {self.serve_max_batch!r}"
             )
+        for attribute, minimum in (
+            ("serve_max_queue", 0),
+            ("serve_max_inflight_per_conn", 0),
+            ("serve_max_request_bytes", 1),
+        ):
+            value = getattr(self, attribute)
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, int)
+                or value < minimum
+            ):
+                raise EngineConfigError(
+                    f"{attribute} must be an int >= {minimum}, got {value!r}"
+                )
         for attribute in ("selector", "backend", "strategy", "executor"):
             value = getattr(self, attribute)
             if not isinstance(value, str) or not value:
@@ -265,6 +301,9 @@ start`); ``0`` disables it even there.  Entries are keyed by query
             "result_cache_size": self.result_cache_size,
             "serve_batch_window_ms": self.serve_batch_window_ms,
             "serve_max_batch": self.serve_max_batch,
+            "serve_max_queue": self.serve_max_queue,
+            "serve_max_inflight_per_conn": self.serve_max_inflight_per_conn,
+            "serve_max_request_bytes": self.serve_max_request_bytes,
             "durability": self.durability,
         }
 

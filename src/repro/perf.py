@@ -32,12 +32,14 @@ from __future__ import annotations
 
 import threading
 import time
+from bisect import bisect_left
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
 __all__ = [
     "PerfCounters",
+    "Histogram",
     "MemoCache",
     "GLOBAL_COUNTERS",
     "OPTIMIZATION_KINDS",
@@ -175,6 +177,88 @@ class PerfCounters:
 #: its updates here.  The benchmark harness reports per-benchmark deltas of
 #: this object.
 GLOBAL_COUNTERS = PerfCounters()
+
+
+class Histogram:
+    """Fixed-boundary histogram with count / sum / min / max accounting.
+
+    A constant-memory distribution sketch for the serving metrics surface:
+    observations land in the first bucket whose upper boundary is >= the
+    value (one overflow bucket catches the rest).  Updates are
+    lock-protected so event-loop code and ``stats`` readers on other
+    threads never race; the whole state serializes through :meth:`as_dict`.
+
+    >>> hist = Histogram("batch_size", (1, 2, 4))
+    >>> for value in (1, 1, 3, 9):
+    ...     hist.observe(value)
+    >>> summary = hist.as_dict()
+    >>> summary["count"], summary["min"], summary["max"]
+    (4, 1.0, 9.0)
+    >>> [bucket["count"] for bucket in summary["buckets"]]
+    [2, 0, 1, 1]
+    """
+
+    __slots__ = ("name", "boundaries", "_counts", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, boundaries) -> None:
+        self.name = str(name)
+        self.boundaries: Tuple[float, ...] = tuple(
+            sorted(float(boundary) for boundary in boundaries)
+        )
+        if not self.boundaries:
+            raise ValueError("a histogram needs at least one bucket boundary")
+        self._counts = [0] * (len(self.boundaries) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        # bisect_left makes each boundary an inclusive upper edge.
+        index = bisect_left(self.boundaries, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations so far."""
+        with self._lock:
+            return self._count
+
+    def as_dict(self, precision: int = 6) -> Dict[str, Any]:
+        """JSON-friendly summary: count, sum, min/max/mean, and buckets.
+
+        Buckets are ``{"le": upper_boundary, "count": n}`` in boundary
+        order, closed by an overflow bucket with ``"le": "+inf"``.
+        """
+        with self._lock:
+            counts = list(self._counts)
+            count, total = self._count, self._sum
+            low, high = self._min, self._max
+        buckets = [
+            {"le": boundary, "count": counts[index]}
+            for index, boundary in enumerate(self.boundaries)
+        ]
+        buckets.append({"le": "+inf", "count": counts[-1]})
+        return {
+            "name": self.name,
+            "count": count,
+            "sum": round(total, precision),
+            "min": None if low is None else round(low, precision),
+            "max": None if high is None else round(high, precision),
+            "mean": None if count == 0 else round(total / count, precision),
+            "buckets": buckets,
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name!r} count={self.count}>"
 
 
 # ----------------------------------------------------------------------

@@ -19,14 +19,19 @@ The resident worker pools themselves live in :mod:`repro.exec`
 :meth:`repro.engine.Engine.start`.
 """
 
+from ..core.errors import ServeError, ServeOverloadedError, ServeShuttingDownError
 from .cache import QueryResultCache, engine_fingerprint
 from .client import ServeClient
-from .server import QueryServer, search_response
+from .server import QueryServer, search_response, shed_response
 
 __all__ = [
     "QueryResultCache",
     "QueryServer",
     "ServeClient",
+    "ServeError",
+    "ServeOverloadedError",
+    "ServeShuttingDownError",
     "engine_fingerprint",
     "search_response",
+    "shed_response",
 ]

@@ -129,9 +129,18 @@ class QueryResultCache:
         """Number of cache misses since construction."""
         return self._cache.misses
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (``0.0`` before any)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
     def stats(self) -> Dict[str, Any]:
-        """JSON-friendly accounting (name, size, hits, misses, evictions)."""
-        return self._cache.stats()
+        """JSON-friendly accounting (name, size, hits, misses, hit_rate,
+        evictions)."""
+        stats = self._cache.stats()
+        stats["hit_rate"] = round(self.hit_rate, 6)
+        return stats
 
     def __repr__(self) -> str:
         return (

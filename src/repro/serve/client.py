@@ -10,6 +10,15 @@ the server's micro-batching is meant to be fed.
 ``connect_timeout`` doubles as a readiness probe: the constructor retries
 refused connections until the deadline, so a client started concurrently
 with ``pis serve`` simply waits for the listener to come up.
+
+The client understands the server's load-shed contract: a response with
+``"error": "overloaded"`` means the request was rejected *before any work
+ran* (always safe to retry), and with ``max_retries > 0`` the client
+retries it itself with bounded exponential backoff before surfacing
+:class:`~repro.core.errors.ServeOverloadedError`.  A
+``"shutting_down"`` shed is never retried — the server is going away —
+and raises :class:`~repro.core.errors.ServeShuttingDownError`
+immediately.
 """
 
 from __future__ import annotations
@@ -19,7 +28,11 @@ import socket
 import time
 from typing import Any, Dict, Optional, Union
 
-from ..core.errors import ServeError
+from ..core.errors import (
+    ServeError,
+    ServeOverloadedError,
+    ServeShuttingDownError,
+)
 from ..core.graph import LabeledGraph
 
 __all__ = ["ServeClient"]
@@ -37,6 +50,16 @@ class ServeClient:
         How long to keep retrying a refused connection before giving up.
     io_timeout:
         Socket timeout for each request/response round trip.
+    max_retries:
+        How many times to retry a request the server shed as
+        ``overloaded`` before raising
+        :class:`~repro.core.errors.ServeOverloadedError`.  ``0`` (the
+        default) surfaces the first shed immediately.
+    retry_backoff:
+        Base sleep before the first retry; doubles per attempt
+        (bounded exponential backoff).
+    retry_backoff_max:
+        Upper bound on any single backoff sleep.
     """
 
     def __init__(
@@ -45,10 +68,20 @@ class ServeClient:
         port: int = 9999,
         connect_timeout: float = 10.0,
         io_timeout: float = 60.0,
+        max_retries: int = 0,
+        retry_backoff: float = 0.05,
+        retry_backoff_max: float = 1.0,
     ):
         self.host = host
         self.port = int(port)
         self._io_timeout = float(io_timeout)
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.retry_backoff_max = float(retry_backoff_max)
+        if self.max_retries < 0:
+            raise ServeError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff < 0 or self.retry_backoff_max < 0:
+            raise ServeError("retry backoff values must be >= 0")
         self._sock = self._connect(float(connect_timeout))
         self._reader = self._sock.makefile("rb")
         self._next_id = 0
@@ -95,22 +128,54 @@ class ServeClient:
             )
         return response
 
+    def _checked(self, payload: Dict[str, Any], what: str) -> Dict[str, Any]:
+        """Send a request, retrying ``overloaded`` sheds per the retry policy.
+
+        Only ``overloaded`` is retried: the server sheds before any work
+        runs, so a retry can never double-apply.  ``shutting_down`` raises
+        immediately (the server is draining; a retry cannot succeed) and
+        any other error is a plain :class:`~repro.core.errors.ServeError`.
+        """
+        attempt = 0
+        while True:
+            response = self.request(payload)
+            if response.get("ok"):
+                return response
+            error = response.get("error")
+            if error == "shutting_down":
+                raise ServeShuttingDownError(
+                    f"{what} rejected: the server is shutting down"
+                )
+            if error != "overloaded":
+                raise ServeError(f"{what} failed: {error}")
+            if attempt >= self.max_retries:
+                raise ServeOverloadedError(
+                    f"{what} shed by the server as overloaded "
+                    f"(after {attempt} retr{'y' if attempt == 1 else 'ies'}): "
+                    f"{response.get('detail', '')}"
+                )
+            delay = min(
+                self.retry_backoff * (2**attempt), self.retry_backoff_max
+            )
+            if delay > 0:
+                time.sleep(delay)
+            attempt += 1
+
     def search(
         self, query: Union[LabeledGraph, Dict[str, Any]], sigma: float
     ) -> Dict[str, Any]:
         """Run one SSSD query; returns the raw search response dict.
 
-        Raises :class:`~repro.core.errors.ServeError` if the server reports
-        an error, so callers can rely on ``answers`` / ``distances`` being
+        Raises :class:`~repro.core.errors.ServeOverloadedError` when the
+        server sheds the query (after exhausting ``max_retries``) and
+        :class:`~repro.core.errors.ServeError` for any other reported
+        error, so callers can rely on ``answers`` / ``distances`` being
         present in the return value.
         """
         graph = query.to_dict() if isinstance(query, LabeledGraph) else query
-        response = self.request(
-            {"op": "search", "graph": graph, "sigma": float(sigma)}
+        return self._checked(
+            {"op": "search", "graph": graph, "sigma": float(sigma)}, "search"
         )
-        if not response.get("ok"):
-            raise ServeError(f"search failed: {response.get('error')}")
-        return response
 
     def update(
         self,
@@ -133,10 +198,7 @@ class ServeClient:
             ]
         if remove is not None:
             payload["remove"] = [int(graph_id) for graph_id in remove]
-        response = self.request(payload)
-        if not response.get("ok"):
-            raise ServeError(f"update failed: {response.get('error')}")
-        return response
+        return self._checked(payload, "update")
 
     def ping(self) -> bool:
         """Round-trip liveness check."""
@@ -144,10 +206,7 @@ class ServeClient:
 
     def stats(self) -> Dict[str, Any]:
         """Fetch the server's serving statistics."""
-        response = self.request({"op": "stats"})
-        if not response.get("ok"):
-            raise ServeError(f"stats failed: {response.get('error')}")
-        return response["stats"]
+        return self._checked({"op": "stats"}, "stats")["stats"]
 
     # ------------------------------------------------------------------
     # lifecycle
