@@ -50,9 +50,12 @@ Connections may **pipeline**: a client can write several request lines
 before reading responses, and up to ``serve_max_inflight_per_conn``
 requests of one connection run concurrently (responses still come back in
 request order).  At the cap the server simply stops reading that socket
-until a slot frees — TCP flow control turns the limit into client-side
-backpressure — so one greedy connection cannot monopolize the submission
-queue, and a connection that stops *reading* only ever stalls itself.
+until a slot frees — and a slot frees only once its response has been
+*written back*, not merely computed — so TCP flow control turns the limit
+into client-side backpressure: one greedy connection cannot monopolize the
+submission queue, a connection that stops *reading* only ever stalls
+itself, and at most ``serve_max_inflight_per_conn`` finished responses are
+ever buffered for a connection.
 
 ``update`` applies one mutation batch (removals first, then additions) to
 the live engine under its exclusive write epoch: queries admitted before
@@ -385,16 +388,23 @@ class QueryServer:
                     sigma,
                 )
                 for pending, result in zip(group, results):
-                    if not pending.future.done():
-                        pending.future.set_result(result)
+                    if pending.future.done():
+                        # The waiter vanished (e.g. its connection dropped
+                        # and the awaiting task was cancelled): nobody was
+                        # answered, so this is neither completed nor failed.
+                        self.counters.increment("serve.cancelled")
+                        continue
+                    pending.future.set_result(result)
                     self.counters.increment("serve.completed")
                     if result.from_cache:
                         self.counters.increment("serve.cache_hits")
             except Exception as exc:  # resolve the waiters, never die
                 for pending in group:
+                    if pending.future.done():
+                        self.counters.increment("serve.cancelled")
+                        continue
                     self.counters.increment("serve.failed")
-                    if not pending.future.done():
-                        pending.future.set_exception(exc)
+                    pending.future.set_exception(exc)
             finally:
                 for pending in group:
                     self._queue.task_done()
@@ -483,6 +493,7 @@ class QueryServer:
                 "shed_shutdown": int(counters.get("serve.shed_shutdown", 0)),
                 "completed": int(counters.get("serve.completed", 0)),
                 "failed": int(counters.get("serve.failed", 0)),
+                "cancelled": int(counters.get("serve.cancelled", 0)),
                 "counters": counters,
                 "batch_size": self._batch_size_hist.as_dict(),
                 "batch_wait_ms": self._batch_wait_hist.as_dict(),
@@ -596,7 +607,9 @@ class QueryServer:
         long, and ``None`` once per oversized line — whose payload is
         *discarded* as it streams in, so a hostile client cannot make the
         server buffer it.  Memory per connection stays bounded by
-        ``max_request_bytes`` plus one read chunk.
+        ``max_request_bytes`` plus one read chunk.  A final line whose
+        newline never arrived (the client wrote a request and half-closed)
+        is still yielded at EOF.
         """
         limit = self.max_request_bytes
         buffer = bytearray()
@@ -627,6 +640,11 @@ class QueryServer:
                 discarding = True
                 yield None
             if at_eof:
+                # Answer a trailing non-newline-terminated request (unless
+                # it is the tail of an oversized line already reported
+                # above; the checks above also guarantee it fits the limit).
+                if not discarding and buffer.strip():
+                    yield bytes(buffer)
                 return
 
     def _too_large_response(self) -> Dict[str, Any]:
@@ -650,9 +668,11 @@ class QueryServer:
         Requests pipeline up to ``max_inflight_per_conn``: each line
         dispatches as its own task, responses are written back in request
         order, and at the in-flight cap the loop stops reading the socket
-        (TCP backpressure) instead of queueing more.  A connection that
-        stops reading its responses blocks only its own writer coroutine —
-        other connections are independent tasks.
+        (TCP backpressure) instead of queueing more.  An in-flight slot is
+        held until its response has been written *and drained*, so a
+        connection that stops reading its responses blocks only its own
+        writer coroutine and buffers at most ``max_inflight_per_conn``
+        finished responses — other connections are independent tasks.
         """
         self.counters.increment("serve.connections")
         gate = (
@@ -664,28 +684,52 @@ class QueryServer:
         inflight: "set[asyncio.Task]" = set()
 
         async def answer(line: Optional[bytes]) -> Dict[str, Any]:
-            try:
-                if line is None:
-                    return self._too_large_response()
-                return await self._respond(line)
-            finally:
-                if gate is not None:
-                    gate.release()
+            if line is None:
+                return self._too_large_response()
+            return await self._respond(line)
 
         async def write_loop() -> None:
             while True:
                 task = await responses.get()
                 if task is None:
                     return
-                response = await task
-                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                try:
+                    response = await task
+                    payload = json.dumps(response).encode("utf-8")
+                except Exception as exc:  # a broken dispatch must not
+                    # stall the link: answer with a structured error and
+                    # keep writing the pipelined responses behind it.
+                    payload = json.dumps(
+                        {"id": None, "ok": False, "error": f"internal error: {exc}"}
+                    ).encode("utf-8")
+                writer.write(payload + b"\n")
                 await writer.drain()
+                # The in-flight slot frees only once the response is on
+                # the wire: a client that pipelines requests but never
+                # reads stops being read after max_inflight_per_conn, so
+                # its completed responses cannot pile up here unboundedly.
+                if gate is not None:
+                    gate.release()
 
         writer_task = asyncio.create_task(write_loop())
         try:
             async for line in self._read_requests(reader):
                 if gate is not None:
-                    await gate.acquire()  # backpressure: pause the socket
+                    # Backpressure: wait for a free in-flight slot.  Slots
+                    # free as responses are *written*, so race the acquire
+                    # against the writer — a writer that died mid-
+                    # connection can never release one, and blocking here
+                    # forever would leak the handler.
+                    acquire = asyncio.ensure_future(gate.acquire())
+                    await asyncio.wait(
+                        {acquire, writer_task},
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+                    if not acquire.done():
+                        acquire.cancel()
+                        with contextlib.suppress(asyncio.CancelledError):
+                            await acquire
+                        break
                 task = asyncio.create_task(answer(line))
                 inflight.add(task)
                 task.add_done_callback(inflight.discard)

@@ -34,6 +34,7 @@ must act; opening the gate releases everything.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import copy
 import json
 import os
@@ -414,6 +415,186 @@ def test_inflight_cap_backpressures_a_pipelining_connection(
     responses = asyncio.run(run())
     assert [response["id"] for response in responses] == list(range(10))
     assert all(response["ok"] for response in responses)
+
+
+class _BlockedWriter:
+    """StreamWriter stand-in whose ``drain`` blocks until released.
+
+    Models a client that pipelines requests but never reads: the server's
+    transport buffer is "full" forever (until the test opens the valve),
+    so ``drain()`` never returns and slot releases — which happen post-
+    write — stop.
+    """
+
+    def __init__(self):
+        self.wrote = bytearray()
+        self.can_drain = asyncio.Event()
+
+    def write(self, data):
+        self.wrote.extend(data)
+
+    async def drain(self):
+        await self.can_drain.wait()
+
+    def close(self):
+        pass
+
+    async def wait_closed(self):
+        return None
+
+
+def test_nonreading_pipeliner_buffers_at_most_the_inflight_cap(
+    stress_database,
+):
+    """Slots free on *write*, so a never-reading client stops being read.
+
+    Regression: the slot used to free when the response finished
+    *computing*, so a client that pipelined but never read kept getting
+    fresh slots and its completed responses piled up in the per-connection
+    response queue without bound.
+    """
+    engine = Engine.build(stress_database)
+
+    async def run():
+        server = QueryServer(
+            engine, batch_window_ms=0.0, max_inflight_per_conn=2
+        )
+        async with server:
+            reader = asyncio.StreamReader()
+            writer = _BlockedWriter()
+            handler = asyncio.create_task(server._handle_client(reader, writer))
+            for n in range(20):
+                reader.feed_data(
+                    json.dumps({"op": "ping", "id": n}).encode() + b"\n"
+                )
+            # Let the connection churn as far as it can: with drain()
+            # blocked, exactly max_inflight_per_conn requests may have
+            # been read and answered — the rest stay unread in the socket.
+            await asyncio.sleep(0.3)
+            stalled = server.stats()["server"]["op_latency_ms"]["ping"]["count"]
+            # The client starts reading: everything flushes, in order.
+            writer.can_drain.set()
+            reader.feed_eof()
+            await asyncio.wait_for(handler, DEADLINE)
+        responses = [
+            json.loads(line)
+            for line in bytes(writer.wrote).splitlines()
+        ]
+        return stalled, responses
+
+    stalled, responses = asyncio.run(run())
+    assert stalled == 2, (
+        "a non-reading connection must hold its in-flight slots until "
+        "responses are written, not until they are computed"
+    )
+    assert [response["id"] for response in responses] == list(range(20))
+    assert all(response["ok"] for response in responses)
+
+
+def test_final_line_without_trailing_newline_is_answered(stress_database):
+    """A request followed by half-close (no newline) still gets a response."""
+    engine = Engine.build(stress_database)
+
+    async def run():
+        server = QueryServer(engine, batch_window_ms=1.0)
+        task, stop, address = await _start_tcp(server)
+
+        def session():
+            sock = socket.create_connection(
+                (address["host"], address["port"]), timeout=DEADLINE
+            )
+            try:
+                sock.sendall(json.dumps({"op": "ping", "id": 11}).encode())
+                sock.shutdown(socket.SHUT_WR)  # EOF without a newline
+                return json.loads(sock.makefile("rb").readline())
+            finally:
+                sock.close()
+
+        pong = await asyncio.wait_for(asyncio.to_thread(session), DEADLINE)
+        stop.set()
+        await asyncio.wait_for(task, DEADLINE)
+        return pong
+
+    pong = asyncio.run(run())
+    assert pong == {"id": 11, "ok": True, "op": "ping"}
+
+
+def test_unexpected_dispatch_error_answers_structured_not_dead_link(
+    stress_database,
+):
+    """An op handler blowing up answers an error; the connection survives."""
+    engine = Engine.build(stress_database)
+
+    async def run():
+        server = QueryServer(engine, batch_window_ms=1.0)
+        # The stats op is dispatched outside the per-op try/except — a
+        # failure here used to escape through the writer coroutine and
+        # silently kill every response behind it.
+        server.stats = lambda: (_ for _ in ()).throw(RuntimeError("boom"))
+        task, stop, address = await _start_tcp(server)
+
+        def session():
+            sock = socket.create_connection(
+                (address["host"], address["port"]), timeout=DEADLINE
+            )
+            try:
+                reader = sock.makefile("rb")
+                sock.sendall(
+                    json.dumps({"op": "stats", "id": 1}).encode()
+                    + b"\n"
+                    + json.dumps({"op": "ping", "id": 2}).encode()
+                    + b"\n"
+                )
+                return [json.loads(reader.readline()) for _ in range(2)]
+            finally:
+                sock.close()
+
+        responses = await asyncio.wait_for(asyncio.to_thread(session), DEADLINE)
+        stop.set()
+        await asyncio.wait_for(task, DEADLINE)
+        return responses
+
+    broken, pong = asyncio.run(run())
+    assert broken["ok"] is False
+    assert "internal error" in broken["error"] and "boom" in broken["error"]
+    assert pong == {"id": 2, "ok": True, "op": "ping"}
+
+
+def test_cancelled_waiter_counts_cancelled_not_completed(
+    stress_database, stress_queries
+):
+    """A waiter gone before its batch runs must not inflate ``completed``."""
+    query = stress_queries[0]
+    gated = GatedEngine(Engine.build(stress_database))
+
+    async def run():
+        gated.gate.clear()
+        server = QueryServer(gated, batch_window_ms=0.0, max_batch=1)
+        await server.start()
+        tasks = [
+            asyncio.create_task(server.submit(query, 2.0)) for _ in range(2)
+        ]
+        await _wait_counter(server, "serve.accepted", 2)
+        await asyncio.sleep(0)  # both waiters suspended on their futures
+        tasks[1].cancel()  # its connection "dropped" mid-wait
+        with contextlib.suppress(asyncio.CancelledError):
+            await tasks[1]
+        gated.gate.set()
+        await asyncio.wait_for(tasks[0], DEADLINE)
+        await server.close()
+        return server.stats()["server"]
+
+    stats = asyncio.run(run())
+    assert stats["accepted"] == 2
+    assert stats["completed"] == 1
+    assert stats["cancelled"] == 1
+    assert stats["failed"] == 0
+    # The accounting identity the suite leans on, with the vanished
+    # waiter ledgered explicitly instead of padding "completed".
+    assert (
+        stats["completed"] + stats["failed"] + stats["cancelled"]
+        == stats["accepted"]
+    )
 
 
 def test_mixed_search_update_storm_matches_serial_control(
