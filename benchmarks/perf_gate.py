@@ -54,10 +54,22 @@ mark stays within the bound, and the final database/index state and a
 post-storm query pass are byte-identical to a *serial* replay of the same
 mutation batches on a control engine.
 
+A **planner workload** (PR 9) protects plan-once scatter-gather:
+``global_plan`` answers the same full searches on a 4-shard serial engine
+and a 1-shard engine and compares **total filter-phase work** (summed
+``filter.seconds`` + ``plan.seconds`` across all shards).  With the global
+planner shipping one plan to every shard, the 4-shard total must stay
+within ``--max-plan-ratio`` (default 1.3×) of the single-shard cost — the
+legacy per-shard planning path is measured alongside for reference —
+answers must be byte-identical across topologies, and a warm repeat pass
+must be served from the plan cache (``plan.cache_hits`` observed).  Work
+totals are executor-independent, so this gate holds on single-core
+machines too.
+
 It asserts the two paths return **identical candidate sets** (filter
 workloads) and **identical answer ids and distances** (verify, update,
 sharding, and serving workloads), records the speedups plus counter deltas
-into the ``gate`` section of ``benchmarks/history/BENCH_pr6.json``, and
+into the ``gate`` section of ``benchmarks/history/BENCH_pr9.json``, and
 exits non-zero when
 
 * candidate sets or answer sets differ between the paths,
@@ -133,6 +145,13 @@ SERVING_WORKLOAD = ("serving_throughput", 16, 2.0, 4)
 #: the mixed read/write serving workload:
 #: (name, query edges, sigma, search clients, update batches, max queue)
 SERVING_MIXED_WORKLOAD = ("serving_mixed", 12, 2.0, 4, 3, 3)
+
+#: the global-planner workload: (name, query edges, sigmas, shard count,
+#: query count).  The batch is deliberately larger than the quick-mode
+#: query sets: planning cost amortizes over the fragment overlap between
+#: queries (the serving-shaped workload the planner exists for), and a
+#: 4-query batch would mostly measure per-shard range-walk constants.
+GLOBAL_PLAN_WORKLOAD = ("global_plan", 16, (1.0, 2.0), 4, 32)
 
 #: workloads whose *speedup* floors need real parallel hardware; their
 #: byte-identity checks are enforced everywhere regardless
@@ -687,6 +706,131 @@ def run_serving_mixed_workload(
     return record
 
 
+def run_global_plan_workload(
+    environment, name, query_edges, sigmas, num_shards, num_queries
+):
+    """Measure total filter-phase work: 4-shard plan-once vs 1-shard.
+
+    Both engines run the same full searches on the serial executor, so the
+    comparison is **work**, not wall-clock parallelism: the sum of
+    ``filter.seconds`` (per-shard plan execution) and ``plan.seconds``
+    (the one global planning pass) across everything that ran, taking
+    the best of three paired cold rounds.  With the
+    global planner shipping one plan to every shard task, the 4-shard
+    total must stay within ``--max-plan-ratio`` of the single-shard cost;
+    the legacy path — every shard re-planning against its local slice,
+    measured under ``optimizations_disabled("caches")`` on both
+    topologies — is recorded alongside as ``legacy_ratio`` for reference.
+    Answers must be byte-identical across topologies on both paths, and a
+    warm repeat of the planned sharded batch must hit the plan cache.
+    """
+    queries = environment.workload.sample_queries(
+        num_edges=query_edges, count=num_queries
+    )
+    single_engine = Engine.from_index(
+        environment.database, environment.index, executor="serial"
+    )
+    sharded_index = ShardedFragmentIndex.build(
+        environment.database,
+        environment.features,
+        environment.measure,
+        num_shards=num_shards,
+        backend=environment.index.backend_name,
+        backend_options=environment.index.backend_options,
+    )
+    sharded_engine = Engine.from_index(
+        environment.database, sharded_index, executor="serial"
+    )
+
+    def _filter_work(delta):
+        return delta.get("filter.seconds", 0.0) + delta.get("plan.seconds", 0.0)
+
+    def _measure(engine, index):
+        index.clear_caches()
+        structure_code_cache().clear()
+        if engine.planner is not None:
+            # Plans must be recomputed each measurement — a cached plan
+            # would reduce the measurement to execution only.
+            engine.planner.clear_cache()
+        before = GLOBAL_COUNTERS.snapshot()
+        answers = []
+        for sigma in sigmas:
+            batch = engine.search_many(queries, sigma, executor="serial")
+            answers.extend(_answers_payload(batch))
+        return _filter_work(GLOBAL_COUNTERS.delta(before)), answers
+
+    # Three back-to-back (single, sharded) rounds, keeping the round with
+    # the lowest ratio.  Filter work is a few hundred ms in quick mode,
+    # where one scheduler hiccup can swing the ratio past the gate; noise
+    # within a round hits both topologies alike and cancels in the ratio,
+    # so the min over rounds discards the hiccups without favouring
+    # either topology.
+    rounds = []
+    for _ in range(3):
+        single_work, single_answers = _measure(single_engine, environment.index)
+        sharded_work, sharded_answers = _measure(sharded_engine, sharded_index)
+        ratio = sharded_work / max(single_work, 1e-9)
+        rounds.append(
+            (ratio, single_work, sharded_work, single_answers, sharded_answers)
+        )
+    plan_ratio, single_work, sharded_work, single_answers, sharded_answers = min(
+        rounds, key=lambda round_: round_[0]
+    )
+    identical = all(
+        round_[3] == round_[4] == single_answers for round_ in rounds
+    )
+
+    # Warm repeat: the plans are already cached, so the planner must serve
+    # them without recomputing (and the answers must not change).
+    before = GLOBAL_COUNTERS.snapshot()
+    warm_answers = []
+    for sigma in sigmas:
+        batch = sharded_engine.search_many(queries, sigma, executor="serial")
+        warm_answers.extend(_answers_payload(batch))
+    warm_delta = GLOBAL_COUNTERS.delta(before)
+    warm_cache_hits = warm_delta.get("plan.cache_hits", 0.0)
+    warm_identical = warm_answers == sharded_answers
+
+    # Legacy reference: per-shard local planning (the pre-PR-9 behaviour),
+    # same cache-free footing on both topologies.
+    with optimizations_disabled("caches"):
+        legacy_single_work, legacy_single_answers = _measure(
+            single_engine, environment.index
+        )
+        legacy_sharded_work, legacy_sharded_answers = _measure(
+            sharded_engine, sharded_index
+        )
+    legacy_ratio = legacy_sharded_work / max(legacy_single_work, 1e-9)
+    legacy_identical = legacy_single_answers == legacy_sharded_answers
+
+    blob = json.dumps(sharded_answers).encode("utf-8")
+    record = {
+        "query_edges": query_edges,
+        "num_queries": len(queries),
+        "sigmas": list(sigmas),
+        "num_shards": num_shards,
+        "cpu_count": os.cpu_count() or 1,
+        "single_filter_seconds": round(single_work, 6),
+        "sharded_filter_seconds": round(sharded_work, 6),
+        "plan_ratio": round(plan_ratio, 3),
+        "legacy_single_filter_seconds": round(legacy_single_work, 6),
+        "legacy_sharded_filter_seconds": round(legacy_sharded_work, 6),
+        "legacy_ratio": round(legacy_ratio, 3),
+        "warm_plan_cache_hits": warm_cache_hits,
+        "warm_identical": warm_identical,
+        "answers_identical": identical,
+        "legacy_answers_identical": legacy_identical,
+        "answers_sha256": hashlib.sha256(blob).hexdigest(),
+    }
+    print(
+        f"{name}: 1-shard filter work {single_work:.3f}s, {num_shards}-shard "
+        f"{sharded_work:.3f}s -> {plan_ratio:.2f}x ratio (legacy "
+        f"{legacy_ratio:.2f}x), warm plan hits {warm_cache_hits:.0f}, "
+        f"identical={identical}"
+    )
+    return record
+
+
 def run_workload(environment, name, query_edges, sigmas, rounds):
     """Measure one workload in legacy and optimized mode; return its record."""
     queries = environment.workload.sample_queries(
@@ -735,7 +879,7 @@ def main(argv=None) -> int:
         type=Path,
         default=None,
         help="benchmark JSON path (default: $PIS_BENCH_OUTPUT or "
-        "benchmarks/history/BENCH_pr7.json)",
+        "benchmarks/history/BENCH_pr9.json)",
     )
     parser.add_argument(
         "--section",
@@ -784,6 +928,14 @@ def main(argv=None) -> int:
         default=1.0,
         help="required parallel-sharded vs serial build speedup on the "
         "sharded_build workload (enforced only with >= 2 CPU cores)",
+    )
+    parser.add_argument(
+        "--max-plan-ratio",
+        type=float,
+        default=1.3,
+        help="largest allowed 4-shard/1-shard total filter-work ratio on "
+        "the global_plan workload (work totals are executor-independent, "
+        "so this ceiling is enforced on every machine)",
     )
     parser.add_argument(
         "--check-baseline",
@@ -971,6 +1123,43 @@ def main(argv=None) -> int:
         failures.append(
             f"{mixed_name}: post-storm answers differ from fresh searches on "
             "the serially replayed control engine"
+        )
+
+    (
+        plan_name,
+        plan_edges,
+        plan_sigmas,
+        plan_shards,
+        plan_queries,
+    ) = GLOBAL_PLAN_WORKLOAD
+    plan_record = run_global_plan_workload(
+        environment, plan_name, plan_edges, plan_sigmas, plan_shards, plan_queries
+    )
+    gate["workloads"][plan_name] = plan_record
+    if not plan_record["answers_identical"]:
+        failures.append(
+            f"{plan_name}: planned sharded answers differ from the "
+            "single-shard engine"
+        )
+    if not plan_record["legacy_answers_identical"]:
+        failures.append(
+            f"{plan_name}: legacy per-shard-planning answers differ from the "
+            "single-shard engine"
+        )
+    if not plan_record["warm_identical"]:
+        failures.append(
+            f"{plan_name}: warm (plan-cached) repeat answered differently"
+        )
+    if plan_record["warm_plan_cache_hits"] <= 0:
+        failures.append(
+            f"{plan_name}: warm repeat never hit the plan cache"
+        )
+    if plan_record["plan_ratio"] > arguments.max_plan_ratio:
+        failures.append(
+            f"{plan_name}: 4-shard filter work is "
+            f"{plan_record['plan_ratio']:.2f}x the single-shard cost, above "
+            f"the allowed {arguments.max_plan_ratio:.2f}x (legacy path: "
+            f"{plan_record['legacy_ratio']:.2f}x)"
         )
 
     pruning = gate["workloads"]["pruning_cost"]

@@ -17,6 +17,10 @@ Subcommands
     over a worker pool, ``--verify-workers`` parallelizes candidate
     verification within each query, and ``--verifier`` picks the
     verification implementation (``auto``/``bounded``/``legacy``).
+``explain``
+    Plan sampled queries without mutating anything and print each plan —
+    chosen partition, per-fragment selectivities, and estimated vs.
+    actual candidate counts — plus the plan-cache statistics.
 ``update``
     Incrementally add and/or remove graphs in a saved engine — no rebuild:
     the fragment index and its posting lists are updated in place and both
@@ -37,6 +41,8 @@ Subcommands
     resident worker pools and answers repeated queries from the
     generation-keyed result cache.  ``--port 0`` binds an ephemeral port;
     ``--port-file`` publishes the bound address for clients and CI.
+    ``--warm queries.json`` pre-populates the plan cache and the
+    query-fragment memo before the server accepts its first connection.
 ``bench-serve``
     Drive a running server with N concurrent clients and report sustained
     throughput; ``--engine`` cross-checks every response against a direct
@@ -200,6 +206,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the naive scan (slow) to cross-check the answers",
     )
 
+    explain = subparsers.add_parser(
+        "explain",
+        help="plan sampled queries and print partition/selectivity details",
+    )
+    explain.add_argument(
+        "--database", type=Path, required=True, help="database JSON path"
+    )
+    explain.add_argument("--index", type=Path, help="index JSON path")
+    explain.add_argument(
+        "--engine", type=Path, help="saved engine JSON path (alternative to --index)"
+    )
+    explain.add_argument(
+        "--config",
+        type=Path,
+        help="engine config JSON (strategy + params) used with --index",
+    )
+    explain.add_argument("--edges", type=int, default=12, help="query size (edges)")
+    explain.add_argument("--count", type=int, default=3, help="number of queries")
+    explain.add_argument("--sigma", type=float, default=2.0, help="distance threshold")
+    explain.add_argument("--seed", type=int, default=42, help="query sampling seed")
+
     update = subparsers.add_parser(
         "update", help="incrementally add/remove graphs in a saved engine"
     )
@@ -337,6 +364,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="largest accepted request line; longer lines are discarded "
         "and answered with a 'too_large' error (default: the engine "
         "config's serve_max_request_bytes)",
+    )
+    serve.add_argument(
+        "--warm",
+        type=Path,
+        help="JSON file of representative queries used to pre-populate the "
+        "plan cache and query-fragment memo before serving: either "
+        '{"sigmas": [...], "queries": [graph dicts]} or a bare list of '
+        "graph dicts (fragment-memo warm only)",
     )
 
     bench_serve = subparsers.add_parser(
@@ -538,6 +573,54 @@ def _command_query(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_explain(arguments: argparse.Namespace) -> int:
+    if (arguments.index is None) == (arguments.engine is None):
+        print("pass exactly one of --index or --engine", file=sys.stderr)
+        return 2
+    if arguments.engine is not None and arguments.config is not None:
+        print("cannot combine --engine with --config", file=sys.stderr)
+        return 2
+    database = GraphDatabase.load(arguments.database)
+    if arguments.engine is not None:
+        engine = Engine.load(arguments.engine, database)
+    else:
+        index = load_index(arguments.index)
+        engine = Engine.from_index(
+            database, index, config=_load_config(arguments.config)
+        )
+    workload = QueryWorkload(database, seed=arguments.seed)
+    queries = workload.sample_queries(arguments.edges, arguments.count)
+    for position, query in enumerate(queries):
+        explanation = engine.explain(query, arguments.sigma)
+        print(f"query {position}:")
+        print(json.dumps(explanation, indent=2, sort_keys=True))
+    return 0
+
+
+def _load_warm_queries(path: Path) -> Tuple[List[object], List[float]]:
+    """Parse a ``--warm`` file into ``(queries, sigmas)``.
+
+    Accepts ``{"sigmas": [...], "queries": [graph dicts]}`` or a bare list
+    of graph dicts (which warms the fragment memo only — no sigmas means
+    no plans are precomputed).
+    """
+    from .core.graph import LabeledGraph
+
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if isinstance(document, list):
+        payload, sigmas = document, []
+    elif isinstance(document, dict):
+        payload = document.get("queries", [])
+        sigmas = [float(sigma) for sigma in document.get("sigmas", [])]
+    else:
+        raise EngineConfigError(
+            f"--warm file {path} must hold a list of graph dicts or a "
+            '{"sigmas": [...], "queries": [...]} document'
+        )
+    queries = [LabeledGraph.from_dict(entry) for entry in payload]
+    return queries, sigmas
+
+
 def _command_update(arguments: argparse.Namespace) -> int:
     if arguments.add is None and arguments.remove is None:
         print("nothing to do: pass --add and/or --remove", file=sys.stderr)
@@ -667,6 +750,14 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     if arguments.result_cache_size is not None:
         engine.config = engine.config.replace(
             result_cache_size=arguments.result_cache_size
+        )
+    if arguments.warm is not None:
+        warm_queries, warm_sigmas = _load_warm_queries(arguments.warm)
+        summary = engine.warm(warm_queries, warm_sigmas)
+        print(
+            f"warmed {summary['queries']} queries "
+            f"({summary['plans']} plans precomputed)",
+            flush=True,
         )
     server = QueryServer(
         engine,
@@ -818,6 +909,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _command_generate,
         "index": _command_index,
         "query": _command_query,
+        "explain": _command_explain,
         "update": _command_update,
         "recover": _command_recover,
         "stats": _command_stats,

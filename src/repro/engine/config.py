@@ -90,6 +90,14 @@ remove_graphs` (see :mod:`repro.index.backends`).  ``None`` keeps each
 start`); ``0`` disables it even there.  Entries are keyed by query
         content, sigma, the engine fingerprint, and the index generation,
         so a hit is always byte-identical to a fresh search.
+    plan_cache_size:
+        Capacity of the global query-plan cache
+        (:class:`repro.search.GlobalPlanner`), in plans.  Plans are keyed
+        by query content, sigma, the cutoff factor, and the index
+        generation, so mutations invalidate without clearing; unlike the
+        result cache the plan cache is always active (planning itself is
+        gated on the ``"caches"`` optimization flag).  ``0`` keeps the
+        plan/execute split but stores nothing.
     serve_batch_window_ms:
         Default micro-batching window of :class:`repro.serve.QueryServer`:
         how long the server waits, after one query arrives, for more
@@ -141,6 +149,7 @@ start`); ``0`` disables it even there.  Entries are keyed by query
     shards: int = 1
     executor: str = "thread"
     result_cache_size: int = 1024
+    plan_cache_size: int = 256
     serve_batch_window_ms: float = 2.0
     serve_max_batch: int = 32
     serve_max_queue: int = 1024
@@ -215,6 +224,7 @@ start`); ``0`` disables it even there.  Entries are keyed by query
                 f"got {self.serve_max_batch!r}"
             )
         for attribute, minimum in (
+            ("plan_cache_size", 0),
             ("serve_max_queue", 0),
             ("serve_max_inflight_per_conn", 0),
             ("serve_max_request_bytes", 1),
@@ -299,6 +309,7 @@ start`); ``0`` disables it even there.  Entries are keyed by query
             "shards": self.shards,
             "executor": self.executor,
             "result_cache_size": self.result_cache_size,
+            "plan_cache_size": self.plan_cache_size,
             "serve_batch_window_ms": self.serve_batch_window_ms,
             "serve_max_batch": self.serve_max_batch,
             "serve_max_queue": self.serve_max_queue,

@@ -55,8 +55,10 @@ from ..index.sharded import (
     merge_search_results,
 )
 from ..mining.registry import make_selector
+from .. import perf
 from ..perf import PerfCounters
 from ..core.canonical import structure_code_cache
+from ..search.planner import GlobalPlanner, QueryPlan
 from ..search.registry import make_strategy, strategy_class
 from ..search.results import PruningReport, SearchResult
 from ..search.strategy import SearchStrategy
@@ -178,19 +180,25 @@ def _filter_only_search(
     strategy: SearchStrategy,
     query: LabeledGraph,
     sigma: float,
+    plan: Optional[QueryPlan] = None,
 ) -> SearchResult:
     """Run one query's filtering phase only (``EngineConfig.verify=False``).
 
     The answer set is left empty on purpose; strategies exposing a full
     pruning report (PIS) keep it, so filter-only mode remains usable for
-    pruning-power studies over any strategy.
+    pruning-power studies over any strategy.  A caller-supplied ``plan``
+    (the scatter path) is executed instead of planning locally.
     """
     before = strategy.counters.snapshot()
     start = time.perf_counter()
     if hasattr(strategy, "filter_candidates"):
         # Keep the strategy's full pruning report — filter-only mode
         # exists precisely to study it.
-        outcome = strategy.filter_candidates(query, sigma)
+        outcome = (
+            strategy.filter_candidates(query, sigma, plan=plan)
+            if plan is not None
+            else strategy.filter_candidates(query, sigma)
+        )
         candidate_ids = outcome.candidate_ids
         report = outcome.report
     else:
@@ -208,6 +216,7 @@ def _filter_only_search(
         report=report,
         method=f"{strategy.name}(filter-only)",
         counters=strategy.counters.delta(before),
+        plan=plan,
     )
 
 
@@ -217,28 +226,37 @@ def _run_shard_queries(
     sigma: float,
     verify: bool,
     verify_workers: Optional[int],
+    plans: Optional[Sequence[Optional[QueryPlan]]] = None,
 ) -> List[SearchResult]:
     """One shard's slice of a scatter: run every query sequentially.
 
     Shared by the in-process scatter path and the process-executor task so
     the two can never diverge; parallelism comes from running shards
-    concurrently, not from within this loop.
+    concurrently, not from within this loop.  ``plans`` carries the
+    driver's per-query plans (parallel to ``queries``) — with one in hand a
+    shard executes it instead of re-planning over shard-local statistics.
     """
-    return [
-        strategy.search(query, sigma, verify_workers=verify_workers)
-        if verify
-        else _filter_only_search(strategy, query, sigma)
-        for query in queries
-    ]
+    results: List[SearchResult] = []
+    for position, query in enumerate(queries):
+        plan = plans[position] if plans is not None else None
+        if verify:
+            results.append(
+                strategy.search(
+                    query, sigma, verify_workers=verify_workers, plan=plan
+                )
+            )
+        else:
+            results.append(_filter_only_search(strategy, query, sigma, plan=plan))
+    return results
 
 
 def _shard_batch_task(payload: Dict[str, Any]) -> List[SearchResult]:
     """Executor task of the sharded scatter-gather: one shard, all queries.
 
     The payload is a plain dict (picklable for the process executor) naming
-    the shard's database view, its fragment index, and the strategy
-    configuration; the strategy is built inside the task so worker
-    processes construct their own.
+    the shard's database view, its fragment index, the strategy
+    configuration, and the driver's per-query plans; the strategy is built
+    inside the task so worker processes construct their own.
     """
     strategy = make_strategy(
         payload["strategy"],
@@ -253,6 +271,7 @@ def _shard_batch_task(payload: Dict[str, Any]) -> List[SearchResult]:
         payload["sigma"],
         payload["verify"],
         payload["verify_workers"],
+        plans=payload.get("plans"),
     )
 
 
@@ -273,6 +292,7 @@ class Engine:
         self.database = database
         self.index = index
         self._strategy: Optional[SearchStrategy] = None
+        self._planner: Optional[GlobalPlanner] = None
         self._started = False
         self._resident_executors: Dict[Tuple[str, int, bool], Executor] = {}
         self._result_cache: Optional[QueryResultCache] = None
@@ -301,6 +321,11 @@ class Engine:
         self._strategy = None
         self._shard_strategies: Optional[List[SearchStrategy]] = None
         self._fingerprint: Optional[str] = None
+        # The planner's parameters (epsilon, cutoff, MWIS method, cache
+        # bound) all come from the config, so a new config needs a new
+        # planner.  Mutations, by contrast, keep the planner: its cache is
+        # generation-keyed, so stale plans simply stop hitting.
+        self._planner = None
 
     # ------------------------------------------------------------------
     # serving lifecycle (resident pools + result cache)
@@ -397,6 +422,11 @@ class Engine:
             "result_cache": (
                 self._result_cache.stats()
                 if self._result_cache is not None
+                else None
+            ),
+            "plan_cache": (
+                self._ensure_planner().cache_stats()
+                if self._supports_planning()
                 else None
             ),
             "resident_executors": [
@@ -527,7 +557,142 @@ class Engine:
             self._strategy = self.make_strategy(
                 self.config.strategy, **self.config.strategy_params
             )
+            if hasattr(self._strategy, "planner"):
+                # Share the engine-owned planner: the unsharded search
+                # path, the scatter driver, and cache warming then hit one
+                # plan cache instead of three.
+                self._strategy.planner = self._ensure_planner()
         return self._strategy
+
+    # ------------------------------------------------------------------
+    # global query planning
+    # ------------------------------------------------------------------
+    def _ensure_planner(self) -> GlobalPlanner:
+        """The engine-owned :class:`~repro.search.planner.GlobalPlanner`.
+
+        Built once per config from the strategy's pruning parameters and
+        the config's ``plan_cache_size``; it survives index mutations
+        because its cache keys include the index generation.
+        """
+        if self._planner is None:
+            params = self.config.strategy_params
+            self._planner = GlobalPlanner(
+                self.index,
+                epsilon=params.get("epsilon", 0.0),
+                cutoff_lambda=params.get("cutoff_lambda", 1.0),
+                partition_method=params.get("partition_method", "greedy"),
+                partition_k=params.get("partition_k", 2),
+                cache_size=self.config.plan_cache_size,
+                counters=self.index.counters,
+            )
+        return self._planner
+
+    @property
+    def planner(self) -> Optional[GlobalPlanner]:
+        """The engine's query planner, or ``None`` for non-planning
+        strategies (the baselines have no plan/execute split)."""
+        if self._supports_planning():
+            return self._ensure_planner()
+        return None
+
+    def _supports_planning(self) -> bool:
+        """Whether the configured strategy has a plan/execute split."""
+        try:
+            return hasattr(strategy_class(self.config.strategy), "execute_plan")
+        except Exception:
+            return False
+
+    def _plans_enabled(self) -> bool:
+        """Whether searches should run through precomputed global plans.
+
+        Planning rides the ``"caches"`` optimization flag:
+        ``optimizations_disabled()`` exercises the legacy per-shard
+        plan-locally path the equivalence tests compare against.
+        """
+        return perf.optimizations_enabled("caches") and self._supports_planning()
+
+    def _global_database_size(self) -> int:
+        """The global live-graph count ``n`` used as the selectivity
+        denominator — never any shard-local size."""
+        return max(self.index.num_live_graphs, len(self.database))
+
+    def plan_queries(
+        self, queries: Sequence[LabeledGraph], sigma: float
+    ) -> Optional[List[QueryPlan]]:
+        """Plan each query once (cache-served), or ``None`` when planning
+        is off.  The scatter path ships these to every shard task."""
+        if not self._plans_enabled():
+            return None
+        planner = self._ensure_planner()
+        num_graphs = self._global_database_size()
+        return [
+            planner.plan(query, sigma, num_graphs=num_graphs)
+            for query in queries
+        ]
+
+    def warm(
+        self,
+        queries: Sequence[LabeledGraph],
+        sigmas: Sequence[float] = (),
+    ) -> Dict[str, int]:
+        """Pre-populate the query-side caches for an expected workload.
+
+        Enumerates each query's fragments into the fragment memo (on a
+        sharded index this seeds every shard) and — when planning is on —
+        plans each ``(query, sigma)`` pair, which also warms the range and
+        global-statistics caches the plans touch.  ``pis serve --warm``
+        calls this on startup so the first real queries hit warm caches.
+
+        Returns ``{"queries": ..., "plans": ...}`` counts for reporting.
+        """
+        queries = list(queries)
+        if self.is_sharded:
+            self.index.prewarm_query_fragments(queries)
+        else:
+            for query in queries:
+                self.index.enumerate_query_fragments(query)
+        planned = 0
+        if self._plans_enabled() and sigmas:
+            planner = self._ensure_planner()
+            num_graphs = self._global_database_size()
+            for sigma in sigmas:
+                for query in queries:
+                    planner.plan(query, float(sigma), num_graphs=num_graphs)
+                    planned += 1
+        return {"queries": len(queries), "plans": planned}
+
+    def explain(self, query: LabeledGraph, sigma: float) -> Dict[str, Any]:
+        """Plan one query and compare the plan against the actual search.
+
+        Returns a JSON-friendly document with the plan (chosen partition,
+        per-fragment selectivities, estimated candidates), the actual
+        candidate/answer counts, and the plan-cache accounting.  Powers the
+        ``pis explain`` CLI command.
+        """
+        plan = None
+        if self._plans_enabled():
+            plan = self._ensure_planner().plan(
+                query, sigma, num_graphs=self._global_database_size()
+            )
+        result = self.search(query, sigma)
+        return {
+            "sigma": sigma,
+            "plan": plan.as_dict() if plan is not None else None,
+            "planned": result.report.planned,
+            "estimated_candidates": (
+                plan.estimated_candidates if plan is not None else None
+            ),
+            "actual_candidates": result.report.num_candidates,
+            "num_structure_candidates": result.report.num_structure_candidates,
+            "num_answers": result.num_answers,
+            "method": result.method,
+            "from_cache": result.from_cache,
+            "plan_cache": (
+                self._planner.cache_stats()
+                if self._planner is not None
+                else None
+            ),
+        }
 
     def _injected_strategy_params(
         self, name: str, params: Dict[str, Any], verify_executor: Optional[str] = None
@@ -608,8 +773,15 @@ class Engine:
         queries: Sequence[LabeledGraph],
         sigma: float,
         verify_workers: Optional[int],
+        plans: Optional[Sequence[Optional[QueryPlan]]] = None,
     ) -> List[Dict[str, Any]]:
-        """Picklable per-shard task payloads for the process executor."""
+        """Picklable per-shard task payloads for the process executor.
+
+        ``plans`` (parallel to ``queries``) rides along into every worker:
+        a :class:`~repro.search.planner.QueryPlan` is a plain frozen
+        dataclass whose pickle drops the raw range maps, so shipping one
+        costs little more than its candidate ids and bounds.
+        """
         index: ShardedFragmentIndex = self.index
         return [
             {
@@ -627,6 +799,7 @@ class Engine:
                 "sigma": sigma,
                 "verify": self.config.verify,
                 "verify_workers": verify_workers,
+                "plans": list(plans) if plans is not None else None,
             }
             for position, shard in enumerate(index.shards)
         ]
@@ -659,8 +832,15 @@ class Engine:
         # result is shard-independent, and warming the shard caches here
         # also ships into process-executor workers with the pickled shards.
         index.prewarm_query_fragments(queries)
+        # Plan once, execute everywhere: global selectivities, one MWIS
+        # solve, and the full filtering outcome computed on the driver,
+        # instead of per shard.  The plans carry that outcome, so shard
+        # tasks only restrict it to their live ids — no backend work.
+        plans = self.plan_queries(queries, sigma)
         if executor_name == "process":
-            payloads = self._shard_payloads(queries, sigma, verify_workers)
+            payloads = self._shard_payloads(
+                queries, sigma, verify_workers, plans=plans
+            )
             pool = self._executor(
                 "process", num_shards, counters=index.counters
             )
@@ -675,7 +855,7 @@ class Engine:
             )
             per_shard = pool.map(
                 lambda strategy: _run_shard_queries(
-                    strategy, queries, sigma, verify, verify_workers
+                    strategy, queries, sigma, verify, verify_workers, plans
                 ),
                 strategies,
             )
@@ -720,6 +900,8 @@ class Engine:
         ):
             counters.merge(self._strategy.counters)
         caches = self.index.cache_stats() + [structure_code_cache().stats()]
+        if self._planner is not None:
+            caches.append(self._planner.cache_stats())
         if self._result_cache is not None:
             caches.append(self._result_cache.stats())
         return {

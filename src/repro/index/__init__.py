@@ -9,7 +9,12 @@ from .backends import (
 )
 from .bitset import bit_count, bits_from_ids, full_mask, ids_from_bits
 from .class_index import EquivalenceClassIndex
-from .fragment_index import FragmentIndex, IndexStats, QueryFragment
+from .fragment_index import (
+    FragmentIndex,
+    FragmentStatistics,
+    IndexStats,
+    QueryFragment,
+)
 from .persistence import (
     index_from_dict,
     index_to_dict,
@@ -43,6 +48,7 @@ __all__ = [
     "FragmentSequencer",
     "EquivalenceClassIndex",
     "FragmentIndex",
+    "FragmentStatistics",
     "QueryFragment",
     "IndexStats",
     "ShardedFragmentIndex",

@@ -46,6 +46,13 @@ try:  # numpy is optional: the vectorized scan falls back to pure Python
 except ImportError:  # pragma: no cover - exercised on numpy-free installs
     _np = None
 
+#: Below this many stored vectors the scalar loop beats the numpy pass —
+#: array construction and ufunc dispatch cost more than the whole scan.
+#: Small per-class postings are the norm on database shards, so this keeps
+#: a shard's range query from paying full-size fixed costs on a
+#: quarter-size posting list.
+_SCALAR_SCAN_MAX = 32
+
 
 class _VectorStore:
     """Pre-vectorized annotation arrays for one equivalence class.
@@ -91,7 +98,7 @@ class _VectorStore:
         results: Dict[int, float] = {}
         if not self._vectors:
             return results
-        if _np is not None:
+        if _np is not None and len(self._vectors) > _SCALAR_SCAN_MAX:
             if self._matrix is None:
                 self._matrix = _np.asarray(self._vectors, dtype=float)
             distances = _np.abs(self._matrix - _np.asarray(point, dtype=float)).sum(

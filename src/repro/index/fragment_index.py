@@ -40,6 +40,7 @@ from-scratch rebuild over the same final database would.
 
 from __future__ import annotations
 
+import math
 import pickle
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple, Union
@@ -56,7 +57,7 @@ from .bitset import bits_from_ids
 from .class_index import EquivalenceClassIndex
 from .sequence import FragmentSequencer
 
-__all__ = ["FragmentIndex", "QueryFragment", "IndexStats"]
+__all__ = ["FragmentIndex", "FragmentStatistics", "QueryFragment", "IndexStats"]
 
 AnnotationSequence = Tuple[Any, ...]
 EdgeKey = Tuple[Hashable, Hashable]
@@ -98,6 +99,31 @@ class QueryFragment:
     def overlaps(self, other: "QueryFragment") -> bool:
         """Vertex-overlap test used by the overlapping-relation graph."""
         return bool(self.vertices & other.vertices)
+
+
+@dataclass(frozen=True)
+class FragmentStatistics:
+    """Aggregated range-result statistics of one fragment at one threshold.
+
+    The pair ``(|T|, sum of matched distances)`` is all a selectivity
+    estimate needs (Definition 5): shards report these instead of full
+    distance maps, and the global planner merges them by summing.  The sum
+    is exactly rounded (:func:`math.fsum`), so merged statistics are
+    bit-identical regardless of how the database is sharded.
+    """
+
+    num_matching_graphs: int
+    matched_distance_sum: float
+
+    def merge(self, other: "FragmentStatistics") -> "FragmentStatistics":
+        """Combine statistics from two disjoint database partitions."""
+        return FragmentStatistics(
+            num_matching_graphs=self.num_matching_graphs
+            + other.num_matching_graphs,
+            matched_distance_sum=math.fsum(
+                (self.matched_distance_sum, other.matched_distance_sum)
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -716,6 +742,24 @@ class FragmentIndex:
                 # FragmentIndex.supports_bitsets before trusting the bits.
                 entry[1] = 0
         return entry[0], entry[1]
+
+    def fragment_statistics(
+        self, fragment: QueryFragment, sigma: float
+    ) -> FragmentStatistics:
+        """Aggregated range-result statistics for one fragment.
+
+        This is the per-shard statistics API the global planner builds on:
+        it reuses the memoized range query (so a later
+        :meth:`range_query_with_bits` for the same ``(fragment, sigma)`` is
+        a cache hit, not repeated work) and reduces the distance map to the
+        ``(|T|, exact matched-distance sum)`` pair selectivity estimation
+        needs.
+        """
+        distances, _ = self.range_query_with_bits(fragment, sigma, want_bits=False)
+        return FragmentStatistics(
+            num_matching_graphs=len(distances),
+            matched_distance_sum=math.fsum(distances.values()),
+        )
 
     def __repr__(self) -> str:
         low, high = self.fragment_size_range()

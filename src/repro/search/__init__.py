@@ -12,6 +12,7 @@ from .mwis import (
 from .overlap_graph import OverlapGraph
 from .partition import PartitionResult, select_partition, validate_partition
 from .pis import FilterOutcome, PISearch
+from .planner import GlobalPlanner, QueryPlan
 from .registry import available_strategies, make_strategy, register_strategy
 from .results import PruningReport, SearchResult
 from .selectivity import FragmentSelectivity, SelectivityEstimator
@@ -42,6 +43,8 @@ __all__ = [
     "validate_partition",
     "PISearch",
     "FilterOutcome",
+    "GlobalPlanner",
+    "QueryPlan",
     "NaiveSearch",
     "TopoPruneSearch",
     "ExactTopoPruneSearch",

@@ -24,7 +24,7 @@ in the paper's implementation notes (Section 6).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..core.database import GraphDatabase
 from ..core.errors import IndexNotBuiltError
@@ -33,6 +33,7 @@ from .. import perf
 from ..index.bitset import ids_from_bits
 from ..index.fragment_index import FragmentIndex, QueryFragment
 from .partition import PartitionResult, select_partition
+from .planner import GlobalPlanner, QueryPlan
 from .results import PruningReport
 from .selectivity import SelectivityEstimator
 from .strategy import SearchStrategy
@@ -135,21 +136,164 @@ class PISearch(SearchStrategy):
         self.cutoff_lambda = cutoff_lambda
         self.partition_method = partition_method
         self.partition_k = partition_k
+        self._planner: Optional[GlobalPlanner] = None
+        self._live_ids_memo: Optional[Tuple[int, FrozenSet[int]]] = None
+
+    # ------------------------------------------------------------------
+    # planning (the plan half of the plan/execute split)
+    # ------------------------------------------------------------------
+    @property
+    def planner(self) -> GlobalPlanner:
+        """The query planner (lazily built over the strategy's own index).
+
+        The engine injects its own :class:`~repro.search.planner
+        .GlobalPlanner` here so the unsharded strategy, the scatter path,
+        and cache warming all share one plan cache.
+        """
+        if self._planner is None:
+            self._planner = GlobalPlanner(
+                self.index,
+                epsilon=self.epsilon,
+                cutoff_lambda=self.cutoff_lambda,
+                partition_method=self.partition_method,
+                partition_k=self.partition_k,
+                counters=self.counters,
+            )
+        return self._planner
+
+    @planner.setter
+    def planner(self, planner: Optional[GlobalPlanner]) -> None:
+        self._planner = planner
+
+    def plan(self, query: LabeledGraph, sigma: float) -> QueryPlan:
+        """Plan the filtering phase for one query (cached per generation)."""
+        return self.planner.plan(query, sigma, num_graphs=self._database_size())
+
+    def plan_query(self, query: LabeledGraph, sigma: float) -> Optional[QueryPlan]:
+        """Planning hook of the :meth:`SearchStrategy.search` template.
+
+        Planning is gated on the global ``"caches"`` optimization flag:
+        ``optimizations_disabled()`` runs the legacy single-pass
+        :meth:`_filter_candidates`, which the benchmark gate and the
+        equivalence tests use as the reference.
+        """
+        if not perf.optimizations_enabled("caches"):
+            return None
+        return self.plan(query, sigma)
 
     # ------------------------------------------------------------------
     # filtering (Algorithm 2)
     # ------------------------------------------------------------------
-    def filter_candidates(self, query: LabeledGraph, sigma: float) -> FilterOutcome:
+    def filter_candidates(
+        self,
+        query: LabeledGraph,
+        sigma: float,
+        plan: Optional[QueryPlan] = None,
+    ) -> FilterOutcome:
         """Run the partition-based filtering phase and return its outcome.
 
-        Candidate sets are intersected as big-int bitsets (one bitwise AND
-        per fragment) when the index supports it and the ``"bitsets"``
-        optimization flag is on; the legacy hash-set path is kept both as a
-        fallback and as the reference the benchmark gate compares against.
-        Both paths produce identical outcomes.
+        When planning is enabled (the ``"caches"`` flag) the phase splits
+        into :meth:`plan` + :meth:`execute_plan`; a caller-supplied ``plan``
+        (the scatter path) skips planning entirely.  Candidate sets are
+        intersected as big-int bitsets (one bitwise AND per fragment) when
+        the index supports it and the ``"bitsets"`` optimization flag is
+        on; the legacy hash-set path is kept both as a fallback and as the
+        reference the benchmark gate compares against.  All paths produce
+        identical candidates, distances, and lower bounds.
         """
+        if plan is None:
+            plan = self.plan_query(query, sigma)
+        if plan is not None:
+            return self.execute_plan(plan)
         with self.counters.timer("filter"):
             return self._filter_candidates(query, sigma)
+
+    def execute_plan(self, plan: QueryPlan) -> FilterOutcome:
+        """Execute a precomputed :class:`QueryPlan` against this index.
+
+        The plan already carries the *global* filtering outcome — the
+        intersected structure-candidate set and every candidate's Eq. 2
+        lower bound, both computed once by the planner — so execution is a
+        restriction of that outcome to this index's live graph ids.  Over
+        the index the plan was computed on this is byte-identical to the
+        legacy :meth:`_filter_candidates`; on a shard it is exactly the
+        global outcome restricted to the shard's slice (shards partition
+        the live ids, so the restricted candidate sets are disjoint and the
+        restricted reports sum back to the global one).
+        """
+        with self.counters.timer("filter"):
+            return self._execute_plan(plan)
+
+    def _execute_plan(self, plan: QueryPlan) -> FilterOutcome:
+        sigma = plan.sigma
+        report = PruningReport(
+            num_database_graphs=plan.num_database_graphs,
+            num_query_fragments=plan.num_fragments,
+            num_fragments_after_epsilon=len(plan.eligible),
+            planned=True,
+            estimated_candidates=plan.estimated_candidates,
+        )
+
+        if plan.structure_candidates is None:
+            # No indexed fragment occurs in the query: the index cannot
+            # prune anything and every locally live graph stays a candidate.
+            candidate_ids: List[int] = self._all_graph_ids()
+        else:
+            live = self._live_id_set()
+            candidate_ids = [
+                graph_id
+                for graph_id in plan.structure_candidates
+                if graph_id in live
+            ]
+
+        report.num_structure_candidates = len(candidate_ids)
+
+        # The Eq. 2 sweep already ran globally; partition report fields are
+        # stated exactly when it did (``plan.partition_applied``), matching
+        # the legacy path's ``if eligible and candidate_ids`` guard on the
+        # global candidate set.
+        partition: Optional[PartitionResult] = None
+        lower_bounds: Dict[int, float] = {}
+        if plan.partition_applied:
+            partition = plan.partition
+            report.partition_size = partition.size
+            report.partition_weight = partition.weight
+            bounds = plan.lower_bounds
+            lower_bounds = {
+                graph_id: bounds[graph_id] for graph_id in candidate_ids
+            }
+            candidate_ids = [
+                graph_id
+                for graph_id in candidate_ids
+                if bounds[graph_id] <= sigma
+            ]
+
+        report.num_candidates = len(candidate_ids)
+        self.counters.increment("filter.candidates", len(candidate_ids))
+        return FilterOutcome(
+            candidate_ids=candidate_ids,
+            fragment_distances=dict(enumerate(plan.fragment_distances)),
+            fragments=list(plan.fragments),
+            selectivities=list(plan.selectivities),
+            partition=partition,
+            report=report,
+            lower_bounds=lower_bounds,
+        )
+
+    def _live_id_set(self) -> FrozenSet[int]:
+        """This index's live graph ids as a set, memoized per generation.
+
+        Plan execution restricts the plan's global candidate sets by
+        membership here; mutations bump the index generation, dropping the
+        memo, so a stale id can never pass the restriction.
+        """
+        generation = self.index.generation
+        memo = self._live_ids_memo
+        if memo is not None and memo[0] == generation:
+            return memo[1]
+        live = frozenset(self.index.live_graph_ids())
+        self._live_ids_memo = (generation, live)
+        return live
 
     def _filter_candidates(self, query: LabeledGraph, sigma: float) -> FilterOutcome:
         num_graphs = self._database_size()
@@ -282,5 +426,12 @@ class PISearch(SearchStrategy):
         the bounded verifier uses to order, short-circuit, and early-exit
         verification.
         """
-        outcome = self.filter_candidates(query, sigma)
+        outcome = self.filter_candidates(query, sigma, plan=None)
+        return outcome.candidate_ids, outcome.report, outcome.lower_bounds
+
+    def _execute(
+        self, plan: QueryPlan
+    ) -> Tuple[List[int], PruningReport, Optional[Dict[int, float]]]:
+        """Plan-execution hook of the :meth:`SearchStrategy.search` template."""
+        outcome = self.execute_plan(plan)
         return outcome.candidate_ids, outcome.report, outcome.lower_bounds

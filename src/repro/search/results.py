@@ -30,6 +30,14 @@ class PruningReport:
     num_candidates:
         Final candidate count after the superimposed-distance lower bound
         (``Y_p`` in the experiments).
+    planned:
+        ``True`` when the filtering phase executed a precomputed
+        :class:`~repro.search.planner.QueryPlan` (global selectivities and
+        a single MWIS solve) instead of planning locally.
+    estimated_candidates:
+        The planner's candidate-count estimate for this query (``0`` on the
+        legacy path).  Compared against ``num_candidates`` by
+        ``pis explain``.
     """
 
     num_database_graphs: int = 0
@@ -39,6 +47,8 @@ class PruningReport:
     partition_weight: float = 0.0
     num_structure_candidates: int = 0
     num_candidates: int = 0
+    planned: bool = False
+    estimated_candidates: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         """Return the report as a plain dictionary."""
@@ -50,6 +60,8 @@ class PruningReport:
             "partition_weight": round(self.partition_weight, 6),
             "num_structure_candidates": self.num_structure_candidates,
             "num_candidates": self.num_candidates,
+            "planned": self.planned,
+            "estimated_candidates": self.estimated_candidates,
         }
 
 
@@ -89,6 +101,13 @@ class SearchResult:
         excluded from :meth:`as_dict`, which describes the query's answer,
         not how it was served.
 
+    plan:
+        The :class:`~repro.search.planner.QueryPlan` the filtering phase
+        executed, when planning was enabled (``None`` on the legacy path
+        and for strategies that do not plan).  Like ``from_cache`` it is
+        excluded from :meth:`as_dict`: it describes how the query was
+        executed, not its answer.
+
         The verification subsystem (:mod:`repro.search.verify`) reports
         under the ``verify.*`` prefix: ``verify.candidates`` (ids passed to
         the verifier), ``verify.superpositions_explored`` (complete
@@ -113,6 +132,7 @@ class SearchResult:
     method: str = ""
     counters: Dict[str, float] = field(default_factory=dict)
     from_cache: bool = False
+    plan: Optional[Any] = None
 
     @property
     def num_candidates(self) -> int:

@@ -22,8 +22,9 @@ Selectivity is computed directly from the per-fragment range-query results
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Mapping
 
 __all__ = ["SelectivityEstimator", "FragmentSelectivity"]
 
@@ -77,11 +78,31 @@ class SelectivityEstimator:
         return self.cutoff_lambda * self.sigma
 
     def from_range_result(self, distances: Mapping[int, float]) -> FragmentSelectivity:
-        """Selectivity from a ``{graph_id: distance}`` range-query result."""
-        matched = len(distances)
+        """Selectivity from a ``{graph_id: distance}`` range-query result.
+
+        The matched-distance sum uses :func:`math.fsum`, which is exactly
+        rounded and therefore independent of summation order: a global
+        planner summing per-shard statistics produces bit-identical weights
+        to an unsharded estimator walking the same distances.
+        """
+        return self.from_statistics(
+            len(distances), math.fsum(distances.values())
+        )
+
+    def from_statistics(
+        self, num_matching_graphs: int, matched_distance_sum: float
+    ) -> FragmentSelectivity:
+        """Selectivity from pre-aggregated range-result statistics.
+
+        This is the planner-facing entry point: shards report
+        ``(|T|, sum of matched distances)`` pairs and the global planner
+        merges them before calling here with the global database size as
+        ``n`` — the full distance maps never have to leave the shards.
+        """
+        matched = int(num_matching_graphs)
         if self.num_graphs == 0:
             return FragmentSelectivity(0.0, 0, 0.0)
-        matched_sum = float(sum(distances.values()))
+        matched_sum = float(matched_distance_sum)
         missing = self.num_graphs - matched
         weight = (matched_sum + missing * self.cutoff) / self.num_graphs
         mean_matched = matched_sum / matched if matched else 0.0

@@ -114,6 +114,22 @@ class SearchStrategy:
         candidate_ids = self.candidates(query, sigma)
         return candidate_ids, PruningReport(), None
 
+    def plan_query(self, query: LabeledGraph, sigma: float):
+        """Build (or fetch from cache) a query plan, if the strategy plans.
+
+        The base implementation returns ``None`` — baselines have no
+        plan/execute split and :meth:`search` falls back to :meth:`_filter`.
+        PIS overrides this to consult its :class:`~repro.search.planner
+        .GlobalPlanner` when the ``"caches"`` optimization flag is on.
+        """
+        return None
+
+    def _execute(
+        self, plan
+    ) -> Tuple[List[int], PruningReport, Optional[Dict[int, float]]]:
+        """Execute a precomputed plan (planning strategies only)."""
+        raise NotImplementedError(f"{self.name} does not execute query plans")
+
     def _database_size(self) -> int:
         """Live database size reported per query (index-aware, like PIS)."""
         if self.index is not None:
@@ -212,6 +228,7 @@ class SearchStrategy:
         query: LabeledGraph,
         sigma: float,
         verify_workers: Optional[int] = None,
+        plan=None,
     ) -> SearchResult:
         """Run filtering + verification and time the two phases.
 
@@ -224,6 +241,12 @@ class SearchStrategy:
         verify_workers:
             Worker-pool size for parallel verification of this one query
             (``None`` = the strategy's configured default).
+        plan:
+            An externally computed :class:`~repro.search.planner.QueryPlan`
+            to execute (the scatter path plans once on the driver and ships
+            the plan to every shard).  ``None`` asks the strategy to plan
+            for itself via :meth:`plan_query`; strategies that do not plan
+            run their legacy :meth:`_filter` path.
 
         Returns
         -------
@@ -233,7 +256,12 @@ class SearchStrategy:
         """
         before = self.counters.snapshot()
         start = time.perf_counter()
-        candidate_ids, report, lower_bounds = self._filter(query, sigma)
+        if plan is None:
+            plan = self.plan_query(query, sigma)
+        if plan is not None:
+            candidate_ids, report, lower_bounds = self._execute(plan)
+        else:
+            candidate_ids, report, lower_bounds = self._filter(query, sigma)
         prune_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -247,8 +275,12 @@ class SearchStrategy:
         verify_seconds = time.perf_counter() - start
 
         # Both report fields are (re)stated here so every strategy — base
-        # template or PIS override — populates them identically.
-        report.num_database_graphs = self._database_size()
+        # template or PIS override — populates them identically.  A planned
+        # execution already carries the *global* database size from the
+        # plan; overwriting it with the strategy-local view would reintroduce
+        # the shard-local-denominator bug the planner exists to fix.
+        if not report.num_database_graphs:
+            report.num_database_graphs = self._database_size()
         report.num_candidates = len(candidate_ids)
         return SearchResult(
             sigma=sigma,
@@ -260,4 +292,5 @@ class SearchStrategy:
             report=report,
             method=self.name,
             counters=self.counters.delta(before),
+            plan=plan,
         )

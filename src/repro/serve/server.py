@@ -476,11 +476,16 @@ class QueryServer:
         The ``server`` section is the serving metrics surface: admission
         knobs, queue depth and high-water mark, accepted / shed /
         completed counters, the raw counter map, batch-size and
-        batch-wait histograms, and per-op latency histograms.
+        batch-wait histograms, per-op latency histograms, and the plan
+        cache's hit rate (query planning is engine-side work, but its
+        cache effectiveness is a serving concern — ``pis bench-serve``
+        prints this section).
         """
         counters = self.counters.as_dict()
+        engine_stats = self.engine.serving_stats()
         return {
             "server": {
+                "plan_cache": engine_stats.get("plan_cache"),
                 "batch_window_ms": self.batch_window_ms,
                 "max_batch": self.max_batch,
                 "max_queue": self.max_queue,
@@ -502,7 +507,7 @@ class QueryServer:
                     for op, histogram in sorted(self._op_latency.items())
                 },
             },
-            "engine": self.engine.serving_stats(),
+            "engine": engine_stats,
         }
 
     # ------------------------------------------------------------------
