@@ -7,7 +7,7 @@ suite's own ``conftest`` when both directories are collected together.
 Besides the shared figure configurations this module owns the
 machine-readable benchmark output: every benchmark run (the pytest figure
 suite and the ``perf_gate.py`` speedup gate) records into one JSON document
-— ``benchmarks/history/BENCH_pr9.json`` by default, next to the checked-in
+— ``benchmarks/history/BENCH_pr10.json`` by default, next to the checked-in
 checkpoints of earlier PRs — which CI uploads as an artifact and checks
 against ``benchmarks/BENCH_baseline.json``.
 
@@ -18,7 +18,7 @@ Environment knobs:
     queries) instead of the figure-faithful defaults.
 ``PIS_BENCH_OUTPUT=path``
     Where to write the benchmark JSON (default
-    ``benchmarks/history/BENCH_pr9.json`` relative to the current working
+    ``benchmarks/history/BENCH_pr10.json`` relative to the current working
     directory).
 """
 
@@ -94,13 +94,13 @@ def emit(table):
 
 
 # ----------------------------------------------------------------------
-# machine-readable benchmark results (benchmarks/history/BENCH_pr9.json)
+# machine-readable benchmark results (benchmarks/history/BENCH_pr10.json)
 # ----------------------------------------------------------------------
 #: per-benchmark records accumulated during this process
 _RESULTS: Dict[str, Dict[str, Any]] = {}
 
 #: default benchmark document, kept with the earlier checkpoints
-DEFAULT_BENCH_OUTPUT = Path("benchmarks") / "history" / "BENCH_pr9.json"
+DEFAULT_BENCH_OUTPUT = Path("benchmarks") / "history" / "BENCH_pr10.json"
 
 
 def bench_output_path() -> Path:

@@ -54,6 +54,18 @@ mark stays within the bound, and the final database/index state and a
 post-storm query pass are byte-identical to a *serial* replay of the same
 mutation batches on a control engine.
 
+A **kernel workload** (PR 10) protects the array superposition kernel:
+``verify_kernel`` answers the figure10 query set cold — every memo cache
+disabled on both sides, so each search pays its full verification cost —
+once on the recursive reference search (all optimizations off) and once on
+the array kernel (``optimizations_disabled("caches")``, leaving the kernel
+and the bounded verifier on).  Answer ids and exact distances must be
+byte-identical, a 4-shard engine running the kernel must answer
+byte-identically too, and the verify-phase speedup must meet
+``--min-kernel-speedup`` (default 3×).  The per-path
+``verify.nodes_expanded`` counters are recorded so pruning power stays
+observable in the history file.
+
 A **planner workload** (PR 9) protects plan-once scatter-gather:
 ``global_plan`` answers the same full searches on a 4-shard serial engine
 and a 1-shard engine and compares **total filter-phase work** (summed
@@ -69,13 +81,15 @@ machines too.
 It asserts the two paths return **identical candidate sets** (filter
 workloads) and **identical answer ids and distances** (verify, update,
 sharding, and serving workloads), records the speedups plus counter deltas
-into the ``gate`` section of ``benchmarks/history/BENCH_pr9.json``, and
+into the ``gate`` section of ``benchmarks/history/BENCH_pr10.json``, and
 exits non-zero when
 
 * candidate sets or answer sets differ between the paths,
 * the pruning-cost speedup is below ``--min-speedup`` (default 1.5×),
 * the verify-phase speedup is below ``--min-verify-speedup`` (default
-  1.5×),
+  2.5×),
+* the cold kernel verify-phase speedup is below ``--min-kernel-speedup``
+  (default 3×),
 * the incremental-update speedup over a rebuild is below
   ``--min-update-speedup`` (default 2×),
 * the warm-over-cold serving speedup is below ``--min-serving-speedup``,
@@ -129,6 +143,9 @@ WORKLOADS = (
 
 #: the verification workload: full searches on the figure10 query set
 VERIFY_WORKLOAD = ("figure10_verify", 24, (1.0, 3.0, 5.0), 2)
+
+#: the kernel workload: (name, query edges, sigmas, rounds, shard count)
+KERNEL_WORKLOAD = ("verify_kernel", 24, (1.0, 3.0, 5.0), 2, 4)
 
 #: the incremental-update workload: (name, churn fraction, query edges, sigmas)
 UPDATE_WORKLOAD = ("incremental_update", 0.1, 16, (1.0, 2.0))
@@ -248,6 +265,103 @@ def run_verify_workload(environment, name, query_edges, sigmas, rounds):
         f"{name}: legacy verify {legacy_verify:.3f}s, optimized verify "
         f"{optimized_verify:.3f}s -> {record['speedup']:.2f}x speedup, "
         f"identical={identical}"
+    )
+    return record
+
+
+def run_kernel_workload(environment, name, query_edges, sigmas, rounds, num_shards):
+    """Measure the array superposition kernel against the recursive search.
+
+    Unlike :func:`run_verify_workload`, **both** sides run cold: every memo
+    cache is disabled, so each side pays its full branch-and-bound cost on
+    every search and the speedup isolates the kernel (plus the bounded
+    verifier it feeds) instead of cache reuse.
+
+    * **legacy** — ``optimizations_disabled()``: the recursive reference
+      search under the sequential pre-subsystem verifier.
+    * **kernel** — ``optimizations_disabled("caches")``: the array kernel
+      under the bounded verifier, no distance/range/fragment memo caches.
+
+    Answer ids and exact distances must be byte-identical, and a 4-shard
+    engine running the kernel must scatter-gather to the same answers.
+    The ``verify.nodes_expanded`` counter deltas of both paths are
+    recorded so the pruning behaviour of the suffix bounds stays visible.
+    """
+    queries = environment.workload.sample_queries(
+        num_edges=query_edges, count=environment.config.queries_per_set
+    )
+
+    _clear_caches(environment)
+    with optimizations_disabled():
+        before = GLOBAL_COUNTERS.snapshot()
+        legacy_verify, legacy_total, legacy_answers = _run_searches(
+            environment, queries, sigmas, rounds
+        )
+        legacy_counters = GLOBAL_COUNTERS.delta(before)
+
+    _clear_caches(environment)
+    with optimizations_disabled("caches"):
+        before = GLOBAL_COUNTERS.snapshot()
+        kernel_verify, kernel_total, kernel_answers = _run_searches(
+            environment, queries, sigmas, rounds
+        )
+        kernel_counters = GLOBAL_COUNTERS.delta(before)
+
+    identical = legacy_answers == kernel_answers
+
+    # Sharded byte-identity: the same searches on a 4-shard engine with the
+    # kernel forced on must merge to the identical answer payload.
+    sharded_index = ShardedFragmentIndex.build(
+        environment.database,
+        environment.features,
+        environment.measure,
+        num_shards=num_shards,
+        backend=environment.index.backend_name,
+        backend_options=environment.index.backend_options,
+    )
+    sharded_engine = Engine.from_index(
+        environment.database, sharded_index, executor="serial", kernel="array"
+    )
+    sharded_answers = []
+    for _ in range(rounds):
+        for query in queries:
+            for sigma in sigmas:
+                result = sharded_engine.search(query, sigma)
+                sharded_answers.append(
+                    [
+                        result.answer_ids,
+                        {
+                            str(graph_id): result.answer_distances[graph_id]
+                            for graph_id in result.answer_ids
+                        },
+                    ]
+                )
+    sharded_identical = sharded_answers == kernel_answers
+
+    blob = json.dumps(kernel_answers).encode("utf-8")
+    record = {
+        "query_edges": query_edges,
+        "num_queries": len(queries),
+        "sigmas": list(sigmas),
+        "rounds": rounds,
+        "num_shards": num_shards,
+        "legacy_verify_seconds": round(legacy_verify, 6),
+        "kernel_verify_seconds": round(kernel_verify, 6),
+        "legacy_total_seconds": round(legacy_total, 6),
+        "kernel_total_seconds": round(kernel_total, 6),
+        "speedup": round(legacy_verify / max(kernel_verify, 1e-9), 3),
+        "legacy_nodes_expanded": legacy_counters.get("verify.nodes_expanded", 0.0),
+        "kernel_nodes_expanded": kernel_counters.get("verify.nodes_expanded", 0.0),
+        "answers_identical": identical,
+        "sharded_answers_identical": sharded_identical,
+        "answers_sha256": hashlib.sha256(blob).hexdigest(),
+    }
+    print(
+        f"{name}: legacy verify {legacy_verify:.3f}s, kernel verify "
+        f"{kernel_verify:.3f}s -> {record['speedup']:.2f}x speedup, "
+        f"identical={identical}, sharded-identical={sharded_identical}, "
+        f"nodes {legacy_counters.get('verify.nodes_expanded', 0.0):.0f} -> "
+        f"{kernel_counters.get('verify.nodes_expanded', 0.0):.0f}"
     )
     return record
 
@@ -879,7 +993,7 @@ def main(argv=None) -> int:
         type=Path,
         default=None,
         help="benchmark JSON path (default: $PIS_BENCH_OUTPUT or "
-        "benchmarks/history/BENCH_pr9.json)",
+        "benchmarks/history/BENCH_pr10.json)",
     )
     parser.add_argument(
         "--section",
@@ -896,9 +1010,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--min-verify-speedup",
         type=float,
-        default=1.5,
+        default=2.5,
         help="required optimized/legacy verify-phase speedup on the "
         "verification workload",
+    )
+    parser.add_argument(
+        "--min-kernel-speedup",
+        type=float,
+        default=3.0,
+        help="required cold kernel-vs-recursive verify-phase speedup on "
+        "the verify_kernel workload",
     )
     parser.add_argument(
         "--min-update-speedup",
@@ -989,6 +1110,39 @@ def main(argv=None) -> int:
         failures.append(
             f"{verify_name}: verify-phase speedup {verify_record['speedup']:.2f}x "
             f"is below the required {arguments.min_verify_speedup:.2f}x"
+        )
+
+    (
+        kernel_name,
+        kernel_edges,
+        kernel_sigmas,
+        kernel_rounds,
+        kernel_shards,
+    ) = KERNEL_WORKLOAD
+    kernel_record = run_kernel_workload(
+        environment,
+        kernel_name,
+        kernel_edges,
+        kernel_sigmas,
+        kernel_rounds,
+        kernel_shards,
+    )
+    gate["workloads"][kernel_name] = kernel_record
+    if not kernel_record["answers_identical"]:
+        failures.append(
+            f"{kernel_name}: array-kernel answer ids/distances differ from "
+            "the recursive reference search"
+        )
+    if not kernel_record["sharded_answers_identical"]:
+        failures.append(
+            f"{kernel_name}: 4-shard kernel answers differ from the "
+            "unsharded kernel engine"
+        )
+    if kernel_record["speedup"] < arguments.min_kernel_speedup:
+        failures.append(
+            f"{kernel_name}: cold kernel verify-phase speedup "
+            f"{kernel_record['speedup']:.2f}x is below the required "
+            f"{arguments.min_kernel_speedup:.2f}x"
         )
 
     update_name, update_churn, update_edges, update_sigmas = UPDATE_WORKLOAD

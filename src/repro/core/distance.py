@@ -39,6 +39,11 @@ from .errors import DistanceError
 from .graph import LabeledGraph
 from .isomorphism import Embedding
 
+try:  # numpy is optional: the kernel falls back to the recursive search
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
 __all__ = [
     "MutationScoreMatrix",
     "DistanceMeasure",
@@ -171,6 +176,58 @@ class DistanceMeasure:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # vectorized cost tables (used by repro.core.kernel)
+    # ------------------------------------------------------------------
+    def vertex_cost_matrix(
+        self,
+        query: LabeledGraph,
+        query_vertices: Sequence[Hashable],
+        target: LabeledGraph,
+        target_vertices: Sequence[Hashable],
+    ) -> Any:
+        """Dense ``len(query_vertices) x len(target_vertices)`` cost matrix.
+
+        Entry ``[i, j]`` must equal ``vertex_cost(query, query_vertices[i],
+        target, target_vertices[j])`` *exactly* (bit-for-bit): the kernel
+        relies on this to stay byte-identical to the recursive path.  The
+        generic implementation evaluates the scalar hook per cell, so any
+        third-party measure is automatically kernel-compatible; subclasses
+        override it with batched computation.  Returns ``None`` when numpy
+        is unavailable, which disables the kernel for this measure.
+        """
+        if _np is None:
+            return None
+        table = _np.empty(
+            (len(query_vertices), len(target_vertices)), dtype=_np.float64
+        )
+        for i, qv in enumerate(query_vertices):
+            for j, tv in enumerate(target_vertices):
+                table[i, j] = self.vertex_cost(query, qv, target, tv)
+        return table
+
+    def edge_cost_table(
+        self,
+        query: LabeledGraph,
+        query_edges: Sequence[Tuple[Hashable, Hashable]],
+        target: LabeledGraph,
+        target_edges: Sequence[Tuple[Hashable, Hashable]],
+    ) -> Any:
+        """Dense ``len(query_edges) x len(target_edges)`` edge-cost table.
+
+        Entry ``[i, j]`` must equal ``edge_cost(query, query_edges[i],
+        target, target_edges[j])`` exactly, mirroring
+        :meth:`vertex_cost_matrix`.  Returns ``None`` when numpy is
+        unavailable.
+        """
+        if _np is None:
+            return None
+        table = _np.empty((len(query_edges), len(target_edges)), dtype=_np.float64)
+        for i, qe in enumerate(query_edges):
+            for j, te in enumerate(target_edges):
+                table[i, j] = self.edge_cost(query, qe, target, te)
+        return table
+
+    # ------------------------------------------------------------------
     # element annotations (used by the index backends)
     # ------------------------------------------------------------------
     def vertex_annotation(self, graph: LabeledGraph, vertex: Hashable) -> Any:
@@ -287,6 +344,71 @@ class MutationDistance(DistanceMeasure):
             query.edge_label(*query_edge), target.edge_label(*target_edge)
         )
 
+    def _label_cost_table(self, q_labels: List[Any], t_labels: List[Any]) -> Any:
+        """Score every label pair, evaluating the matrix once per unique pair.
+
+        Labels are uniqued by ``(type(label), label)`` so that values that
+        compare equal across types (``1`` vs ``True``) keep distinct codes.
+        Unhashable labels fall back to the per-cell scalar loop.
+        """
+        try:
+            q_unique: Dict[Any, int] = {}
+            q_codes = [
+                q_unique.setdefault((type(lab), lab), len(q_unique))
+                for lab in q_labels
+            ]
+            t_unique: Dict[Any, int] = {}
+            t_codes = [
+                t_unique.setdefault((type(lab), lab), len(t_unique))
+                for lab in t_labels
+            ]
+        except TypeError:
+            table = _np.empty((len(q_labels), len(t_labels)), dtype=_np.float64)
+            for i, a in enumerate(q_labels):
+                for j, b in enumerate(t_labels):
+                    table[i, j] = self.matrix.score(a, b)
+            return table
+        base = _np.empty((len(q_unique), len(t_unique)), dtype=_np.float64)
+        for (_, a), i in q_unique.items():
+            for (_, b), j in t_unique.items():
+                base[i, j] = self.matrix.score(a, b)
+        rows = _np.asarray(q_codes, dtype=_np.intp)
+        cols = _np.asarray(t_codes, dtype=_np.intp)
+        return base[rows[:, None], cols[None, :]]
+
+    @staticmethod
+    def _edge_label_list(
+        graph: LabeledGraph, edges: Sequence[Tuple[Hashable, Hashable]]
+    ) -> List[Any]:
+        """Edge labels for ``edges`` via one bulk read of the label map.
+
+        The kernel passes canonical edge keys, which index the label map
+        directly; non-canonical keys fall back to the accessor.
+        """
+        labels = graph.edge_labels()
+        try:
+            return [labels[e] for e in edges]
+        except (KeyError, TypeError):
+            return [graph.edge_label(*e) for e in edges]
+
+    def vertex_cost_matrix(self, query, query_vertices, target, target_vertices):
+        if _np is None:
+            return None
+        query_labels = query.vertex_labels()
+        target_labels = target.vertex_labels()
+        return self._label_cost_table(
+            [query_labels[v] for v in query_vertices],
+            [target_labels[v] for v in target_vertices],
+        )
+
+    def edge_cost_table(self, query, query_edges, target, target_edges):
+        if _np is None:
+            return None
+        return self._label_cost_table(
+            self._edge_label_list(query, query_edges),
+            self._edge_label_list(target, target_edges),
+        )
+
     def vertex_annotation(self, graph, vertex):
         return graph.vertex_label(vertex)
 
@@ -322,6 +444,24 @@ class LinearMutationDistance(DistanceMeasure):
 
     def edge_cost(self, query, query_edge, target, target_edge) -> float:
         return abs(query.edge_weight(*query_edge) - target.edge_weight(*target_edge))
+
+    def vertex_cost_matrix(self, query, query_vertices, target, target_vertices):
+        if _np is None:
+            return None
+        q = _np.array(
+            [query.vertex_weight(v) for v in query_vertices], dtype=_np.float64
+        )
+        t = _np.array(
+            [target.vertex_weight(v) for v in target_vertices], dtype=_np.float64
+        )
+        return _np.abs(q[:, None] - t[None, :])
+
+    def edge_cost_table(self, query, query_edges, target, target_edges):
+        if _np is None:
+            return None
+        q = _np.array([query.edge_weight(*e) for e in query_edges], dtype=_np.float64)
+        t = _np.array([target.edge_weight(*e) for e in target_edges], dtype=_np.float64)
+        return _np.abs(q[:, None] - t[None, :])
 
     def vertex_annotation(self, graph, vertex):
         return float(graph.vertex_weight(vertex))

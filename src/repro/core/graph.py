@@ -102,6 +102,11 @@ class LabeledGraph:
         "_edge_labels",
         "_vertex_weights",
         "_edge_weights",
+        "_revision",
+        "_kernel_arrays",
+        # weakref support: the kernel's per-pair cost-table cache validates
+        # its identity keys through weak references to the target graph.
+        "__weakref__",
     )
 
     def __init__(self, name: str = ""):
@@ -111,6 +116,20 @@ class LabeledGraph:
         self._edge_labels: Dict[EdgeKey, Any] = {}
         self._vertex_weights: Dict[VertexId, float] = {}
         self._edge_weights: Dict[EdgeKey, float] = {}
+        # Structural revision: bumped on every mutation so derived data (the
+        # array encoding used by repro.core.kernel) can be cached on the graph
+        # and invalidated without hashing the whole structure.
+        self._revision: int = 0
+        self._kernel_arrays: Any = None
+
+    @property
+    def revision(self) -> int:
+        """Monotonic counter bumped by every structural or label mutation."""
+        return self._revision
+
+    def _bump_revision(self) -> None:
+        self._revision += 1
+        self._kernel_arrays = None
 
     # ------------------------------------------------------------------
     # construction
@@ -134,6 +153,7 @@ class LabeledGraph:
         self._vertex_labels[vertex] = label
         if weight is not None:
             self._vertex_weights[vertex] = float(weight)
+        self._bump_revision()
         return vertex
 
     def add_edge(
@@ -173,6 +193,7 @@ class LabeledGraph:
         self._edge_labels[key] = label
         if weight is not None:
             self._edge_weights[key] = float(weight)
+        self._bump_revision()
         return key
 
     def remove_vertex(self, vertex: VertexId) -> None:
@@ -184,6 +205,7 @@ class LabeledGraph:
         del self._adjacency[vertex]
         del self._vertex_labels[vertex]
         self._vertex_weights.pop(vertex, None)
+        self._bump_revision()
 
     def remove_edge(self, u: VertexId, v: VertexId) -> None:
         """Remove the undirected edge ``(u, v)``."""
@@ -194,6 +216,7 @@ class LabeledGraph:
         self._adjacency[v].discard(u)
         del self._edge_labels[key]
         self._edge_weights.pop(key, None)
+        self._bump_revision()
 
     # ------------------------------------------------------------------
     # inspection
@@ -269,6 +292,7 @@ class LabeledGraph:
         if vertex not in self._vertex_labels:
             raise VertexNotFoundError(vertex)
         self._vertex_labels[vertex] = label
+        self._bump_revision()
 
     def set_edge_label(self, u: VertexId, v: VertexId, label: Any) -> None:
         """Replace the label of edge ``(u, v)``."""
@@ -276,12 +300,14 @@ class LabeledGraph:
         if key not in self._edge_labels:
             raise EdgeNotFoundError(u, v)
         self._edge_labels[key] = label
+        self._bump_revision()
 
     def set_vertex_weight(self, vertex: VertexId, weight: float) -> None:
         """Replace the weight of ``vertex``."""
         if vertex not in self._adjacency:
             raise VertexNotFoundError(vertex)
         self._vertex_weights[vertex] = float(weight)
+        self._bump_revision()
 
     def set_edge_weight(self, u: VertexId, v: VertexId, weight: float) -> None:
         """Replace the weight of edge ``(u, v)``."""
@@ -289,6 +315,7 @@ class LabeledGraph:
         if key not in self._edge_labels:
             raise EdgeNotFoundError(u, v)
         self._edge_weights[key] = float(weight)
+        self._bump_revision()
 
     def vertex_labels(self) -> Dict[VertexId, Any]:
         """Return a copy of the vertex-label mapping."""
@@ -466,6 +493,28 @@ class LabeledGraph:
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle/deepcopy state excluding the cached array encoding.
+
+        The kernel arrays are a pure derivative of the structure; shipping
+        them to process workers (or duplicating them on deepcopy) would only
+        waste bandwidth, so the copy rebuilds its cache lazily on first use.
+        """
+        return {
+            "name": self.name,
+            "_adjacency": self._adjacency,
+            "_vertex_labels": self._vertex_labels,
+            "_edge_labels": self._edge_labels,
+            "_vertex_weights": self._vertex_weights,
+            "_edge_weights": self._edge_weights,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+        self._revision = 0
+        self._kernel_arrays = None
+
     def to_dict(self) -> Dict[str, Any]:
         """Return a JSON-serializable dictionary representation."""
         return {

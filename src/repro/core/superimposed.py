@@ -26,6 +26,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from ..perf import optimizations_enabled
 from .distance import DistanceMeasure
 from .graph import LabeledGraph
 from .isomorphism import Embedding, _match_order
@@ -62,12 +63,18 @@ class SuperpositionResult:
         bound tree — either because ``stop_at_threshold`` was requested, or
         because a superposition matching ``known_lower_bound`` proved the
         minimum had been reached.
+    nodes_expanded:
+        Number of partial placements the search descended into (every
+        accepted candidate at every position).  Together with ``explored``
+        this makes pruning power observable: tighter bounds expand fewer
+        nodes for the same answer.
     """
 
     distance: float
     embedding: Optional[Embedding]
     explored: int = 0
     early_exit: bool = False
+    nodes_expanded: int = 0
 
     @property
     def exists(self) -> bool:
@@ -82,6 +89,7 @@ def best_superposition(
     threshold: Optional[float] = None,
     stop_at_threshold: bool = False,
     known_lower_bound: Optional[float] = None,
+    use_kernel: Optional[bool] = None,
 ) -> SuperpositionResult:
     """Find the superposition of ``query`` in ``target`` with minimum cost.
 
@@ -108,6 +116,13 @@ def best_superposition(
         superposition is provably minimal and the returned distance is still
         exact.  Passing a value that is *not* a true lower bound can make
         the result an upper bound instead of the minimum.
+    use_kernel:
+        ``True`` forces the array kernel of :mod:`repro.core.kernel`,
+        ``False`` forces the legacy recursive search, ``None`` (default)
+        follows the global ``"kernel"`` optimization flag.  The kernel is
+        byte-identical in distances; when it cannot run (numpy missing,
+        oversized target, measure without cost tables) the recursive path
+        is used regardless.
 
     Returns
     -------
@@ -123,6 +138,22 @@ def best_superposition(
         or query.num_edges > target.num_edges
     ):
         return SuperpositionResult(distance=INFINITE_DISTANCE, embedding=None)
+
+    if use_kernel is None:
+        use_kernel = optimizations_enabled("kernel")
+    if use_kernel:
+        from . import kernel as _kernel  # lazy: kernel imports our result type
+
+        result = _kernel.kernel_best_superposition(
+            query,
+            target,
+            measure,
+            threshold=threshold,
+            stop_at_threshold=stop_at_threshold,
+            known_lower_bound=known_lower_bound,
+        )
+        if result is not None:
+            return result
 
     order = _match_order(query)
     position_of = {v: i for i, v in enumerate(order)}
@@ -149,6 +180,7 @@ def best_superposition(
     best_cost = INFINITE_DISTANCE
     best_mapping: Optional[Dict[Hashable, Hashable]] = None
     explored = 0
+    nodes_expanded = 0
     bound = threshold if threshold is not None else INFINITE_DISTANCE
 
     mapping: Dict[Hashable, Hashable] = {}
@@ -156,7 +188,7 @@ def best_superposition(
     finished = False
 
     def backtrack(position: int, cost: float) -> None:
-        nonlocal best_cost, best_mapping, explored, finished
+        nonlocal best_cost, best_mapping, explored, nodes_expanded, finished
         if finished:
             return
         if position == len(order):
@@ -174,7 +206,15 @@ def best_superposition(
 
         qv = order[position]
         anchors = earlier_neighbors[position]
-        pool = target.neighbors(mapping[anchors[0]]) if anchors else target_vertices
+        if anchors:
+            # Draw the candidate pool from the mapped anchor with the
+            # smallest neighborhood: every anchor's neighborhood is a valid
+            # pool (the adjacency check below covers the rest), so the
+            # smallest one gives strictly fewer candidates to scan.
+            pool_anchor = min(anchors, key=lambda a: target_degrees[mapping[a]])
+            pool = target.neighbors(mapping[pool_anchor])
+        else:
+            pool = target_vertices
         for tv in pool:
             if tv in used:
                 continue
@@ -203,6 +243,7 @@ def best_superposition(
             # lower bound on any completion.
             if new_cost > bound or new_cost >= best_cost:
                 continue
+            nodes_expanded += 1
             mapping[qv] = tv
             used.add(tv)
             backtrack(position + 1, new_cost)
@@ -215,13 +256,17 @@ def best_superposition(
 
     if best_mapping is None:
         return SuperpositionResult(
-            distance=INFINITE_DISTANCE, embedding=None, explored=explored
+            distance=INFINITE_DISTANCE,
+            embedding=None,
+            explored=explored,
+            nodes_expanded=nodes_expanded,
         )
     return SuperpositionResult(
         distance=best_cost,
         embedding=Embedding(best_mapping),
         explored=explored,
         early_exit=finished,
+        nodes_expanded=nodes_expanded,
     )
 
 
@@ -230,13 +275,16 @@ def minimum_superimposed_distance(
     target: LabeledGraph,
     measure: DistanceMeasure,
     threshold: Optional[float] = None,
+    use_kernel: Optional[bool] = None,
 ) -> float:
     """Return ``d(query, target)`` under ``measure`` (Definition 1).
 
     When ``threshold`` is given the result is exact if it does not exceed
     the threshold; otherwise ``inf`` is returned (sufficient for SSSD).
     """
-    return best_superposition(query, target, measure, threshold=threshold).distance
+    return best_superposition(
+        query, target, measure, threshold=threshold, use_kernel=use_kernel
+    ).distance
 
 
 def within_distance(
@@ -244,16 +292,25 @@ def within_distance(
     target: LabeledGraph,
     measure: DistanceMeasure,
     sigma: float,
+    use_kernel: Optional[bool] = None,
 ) -> bool:
     """Return ``True`` if ``d(query, target) <= sigma`` (verification test)."""
     result = best_superposition(
-        query, target, measure, threshold=sigma, stop_at_threshold=True
+        query,
+        target,
+        measure,
+        threshold=sigma,
+        stop_at_threshold=True,
+        use_kernel=use_kernel,
     )
     return result.distance <= sigma
 
 
 def graph_pair_distance(
-    a: LabeledGraph, b: LabeledGraph, measure: DistanceMeasure
+    a: LabeledGraph,
+    b: LabeledGraph,
+    measure: DistanceMeasure,
+    use_kernel: Optional[bool] = None,
 ) -> float:
     """Distance between two graphs with identical structure, ``d(a, b)``.
 
@@ -263,4 +320,4 @@ def graph_pair_distance(
     """
     if a.num_vertices != b.num_vertices or a.num_edges != b.num_edges:
         return INFINITE_DISTANCE
-    return best_superposition(a, b, measure).distance
+    return best_superposition(a, b, measure, use_kernel=use_kernel).distance

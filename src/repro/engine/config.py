@@ -69,6 +69,14 @@ remove_graphs` (see :mod:`repro.index.backends`).  ``None`` keeps each
         thread pools (the default) are GIL-bound for pure-Python distance
         computation, while ``executor="process"`` verifies candidates in
         worker processes for real CPU parallelism.
+    kernel:
+        Superposition search kernel used during verification: ``"auto"``
+        (the default — use the array kernel of :mod:`repro.core.kernel`
+        whenever the global ``"kernel"`` optimization flag is on and numpy
+        is available), ``"array"`` (always use the array kernel when it
+        can run), or ``"legacy"`` (always use the recursive reference
+        search).  Both kernels return byte-identical distances and
+        answers; the knob exists for benchmarking and fallback.
     shards:
         Number of database shards (default ``1`` = the classic unsharded
         engine).  With ``shards > 1``, :meth:`repro.engine.Engine.build`
@@ -146,6 +154,7 @@ start`); ``0`` disables it even there.  Entries are keyed by query
     verify: bool = True
     verifier: str = "auto"
     verify_workers: int = 0
+    kernel: str = "auto"
     shards: int = 1
     executor: str = "thread"
     result_cache_size: int = 1024
@@ -182,6 +191,11 @@ start`); ``0`` disables it even there.  Entries are keyed by query
         if not isinstance(self.verifier, str) or not self.verifier:
             raise EngineConfigError(
                 f"verifier must be a non-empty string, got {self.verifier!r}"
+            )
+        if self.kernel not in ("auto", "array", "legacy"):
+            raise EngineConfigError(
+                "kernel must be 'auto', 'array' or 'legacy', "
+                f"got {self.kernel!r}"
             )
         if isinstance(self.verify_workers, bool) or not isinstance(
             self.verify_workers, int
@@ -306,6 +320,7 @@ start`); ``0`` disables it even there.  Entries are keyed by query
             "verify": self.verify,
             "verifier": self.verifier,
             "verify_workers": self.verify_workers,
+            "kernel": self.kernel,
             "shards": self.shards,
             "executor": self.executor,
             "result_cache_size": self.result_cache_size,

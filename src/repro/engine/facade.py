@@ -433,6 +433,7 @@ class Engine:
                 {"executor": name, "workers": workers}
                 for name, workers, _ in sorted(self._resident_executors)
             ],
+            "verify": self._verify_stats(),
         }
 
     def __getstate__(self) -> Dict[str, Any]:
@@ -715,6 +716,7 @@ class Engine:
             ("verifier", self.config.verifier),
             ("verify_workers", self.config.verify_workers),
             ("verify_executor", verify_executor or self.config.executor),
+            ("verify_kernel", self.config.kernel),
         ):
             if takes_kwargs or key in signature.parameters:
                 params.setdefault(key, value)
@@ -876,6 +878,48 @@ class Engine:
             "config": self.config.to_dict(),
             "index": self.index.stats().as_dict(),
             "strategy": self.config.strategy,
+            "verify": self._verify_stats(),
+        }
+
+    def _merged_counters(self) -> PerfCounters:
+        """Fold every counter sink the engine feeds into one view.
+
+        Per-shard work lands in each shard's own sink (serial/thread
+        scatter) or is merged into the sharded sink from worker deltas
+        (process scatter); the active strategy may own a private sink.
+        """
+        counters = PerfCounters()
+        counters.merge(self.index.counters)
+        if self.is_sharded:
+            for shard in self.index.shards:
+                counters.merge(shard.counters)
+        if (
+            self._strategy is not None
+            and self._strategy.counters is not self.index.counters
+        ):
+            counters.merge(self._strategy.counters)
+        return counters
+
+    def _verify_stats(self) -> Dict[str, Any]:
+        """Verification view: configured kernel mode plus search effort.
+
+        ``nodes_expanded`` counts partial placements the superposition
+        search descended into across all queries so far — the direct
+        measure of branch-and-bound pruning power (the array kernel's
+        suffix bounds expand fewer nodes for the same answers).
+        """
+        from ..core import kernel as _kernel
+
+        snapshot = self._merged_counters().as_dict()
+        return {
+            "kernel": self.config.kernel,
+            "kernel_available": _kernel.kernel_available(),
+            "candidates": snapshot.get("verify.candidates", 0),
+            "superpositions_explored": snapshot.get(
+                "verify.superpositions_explored", 0
+            ),
+            "nodes_expanded": snapshot.get("verify.nodes_expanded", 0),
+            "early_exits": snapshot.get("verify.early_exits", 0),
         }
 
     def profile(self) -> Dict[str, Any]:
@@ -886,19 +930,7 @@ class Engine:
         and reports the memo-cache accounting — everything needed to see
         where query time goes without attaching an external profiler.
         """
-        counters = PerfCounters()
-        counters.merge(self.index.counters)
-        if self.is_sharded:
-            # Per-shard work lands in each shard's own sink (serial/thread
-            # scatter) or is merged into the sharded sink from worker
-            # deltas (process scatter); fold all of it into one profile.
-            for shard in self.index.shards:
-                counters.merge(shard.counters)
-        if (
-            self._strategy is not None
-            and self._strategy.counters is not self.index.counters
-        ):
-            counters.merge(self._strategy.counters)
+        counters = self._merged_counters()
         caches = self.index.cache_stats() + [structure_code_cache().stats()]
         if self._planner is not None:
             caches.append(self._planner.cache_stats())

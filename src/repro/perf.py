@@ -22,7 +22,8 @@ Three facilities live here:
 Optimization flags
     :func:`optimizations_enabled` / :func:`optimizations_disabled` gate the
     optimized code paths (caches, bitset candidate sets, vectorized range
-    scans, parallel builds, and the bounded verifier).  The benchmark gate
+    scans, parallel builds, the bounded verifier, and the array-encoded
+    verification kernel of :mod:`repro.core.kernel`).  The benchmark gate
     runs every workload twice — once optimized, once inside
     ``optimizations_disabled()`` — and asserts that both paths return
     byte-identical candidate and answer sets.
@@ -265,7 +266,14 @@ class Histogram:
 # optimization switches
 # ----------------------------------------------------------------------
 #: the independently switchable optimized code paths
-OPTIMIZATION_KINDS = ("caches", "bitsets", "vectorized", "parallel", "verify")
+OPTIMIZATION_KINDS = (
+    "caches",
+    "bitsets",
+    "vectorized",
+    "parallel",
+    "verify",
+    "kernel",
+)
 
 _FLAGS: Dict[str, bool] = {kind: True for kind in OPTIMIZATION_KINDS}
 _FLAGS_LOCK = threading.Lock()

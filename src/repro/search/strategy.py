@@ -54,6 +54,11 @@ class SearchStrategy:
         :mod:`repro.exec` executor kind for the verification pool:
         ``"thread"`` (default), ``"process"`` for GIL-free parallel
         verification, or ``"serial"``.
+    verify_kernel:
+        Superposition search kernel used during verification: ``"auto"``
+        (default, follow the global ``"kernel"`` optimization flag),
+        ``"array"`` (force the array kernel of :mod:`repro.core.kernel`),
+        or ``"legacy"`` (force the recursive reference search).
     """
 
     #: strategy identifier used in reports and registry lookups
@@ -70,6 +75,7 @@ class SearchStrategy:
         verifier: str = AUTO_VERIFIER,
         verify_workers: int = 0,
         verify_executor: str = "thread",
+        verify_kernel: str = "auto",
     ):
         if measure is None and index is not None:
             measure = index.measure
@@ -83,6 +89,7 @@ class SearchStrategy:
         self.verifier_name = verifier
         self.verify_workers = int(verify_workers or 0)
         self.verify_executor = verify_executor
+        self.verify_kernel = verify_kernel
         # Index-backed strategies share the index's counter sink so that
         # filtering and verification report into one place; index-free
         # baselines own a private sink.
@@ -179,6 +186,7 @@ class SearchStrategy:
                 distance_cache=self._distance_cache(),
                 workers=self.verify_workers,
                 executor=self.verify_executor,
+                kernel=self.verify_kernel,
             )
         return self._verifiers[resolved]
 

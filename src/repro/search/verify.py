@@ -136,22 +136,48 @@ def query_cache_key(query: LabeledGraph, measure: DistanceMeasure) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def _verify_chunk_task(payload: Tuple) -> List[Tuple[int, float, int, int]]:
+#: accepted values of the verifier ``kernel`` mode
+KERNEL_MODES = ("auto", "array", "legacy")
+
+
+def resolve_kernel_mode(kernel: str) -> Optional[bool]:
+    """Map a ``kernel`` mode string to a ``use_kernel`` argument.
+
+    ``"auto"`` -> ``None`` (follow the global ``"kernel"`` optimization
+    flag), ``"array"`` -> ``True`` (force the array kernel where it can
+    run), ``"legacy"`` -> ``False`` (force the recursive search).
+    """
+    if kernel not in KERNEL_MODES:
+        raise EngineConfigError(
+            f"unknown kernel mode {kernel!r}; expected one of {KERNEL_MODES}"
+        )
+    if kernel == "auto":
+        return None
+    return kernel == "array"
+
+
+def _verify_chunk_task(payload: Tuple) -> List[Tuple[int, float, int, int, int]]:
     """Process-pool task: verify one chunk of candidates exactly.
 
     The payload carries everything a worker needs — the query, the measure,
-    the threshold, and ``(graph_id, graph, lower_bound)`` triples — so the
-    task is self-contained and picklable.  Returns, per candidate,
-    ``(graph_id, exact_distance, superpositions_explored, early_exits)``;
-    the parent turns the raw distances into answers, caches them, and
-    accounts the work, so process-verified results are byte-identical to
-    (and accounted exactly like) serial verification.
+    the threshold, the kernel routing flag, and ``(graph_id, graph,
+    lower_bound)`` triples — so the task is self-contained and picklable.
+    Returns, per candidate, ``(graph_id, exact_distance,
+    superpositions_explored, early_exits, nodes_expanded)``; the parent
+    turns the raw distances into answers, caches them, and accounts the
+    work, so process-verified results are byte-identical to (and accounted
+    exactly like) serial verification.
     """
-    query, measure, sigma, candidates = payload
-    outcomes: List[Tuple[int, float, int, int]] = []
+    query, measure, sigma, use_kernel, candidates = payload
+    outcomes: List[Tuple[int, float, int, int, int]] = []
     for graph_id, graph, bound in candidates:
         result = best_superposition(
-            query, graph, measure, threshold=sigma, known_lower_bound=bound
+            query,
+            graph,
+            measure,
+            threshold=sigma,
+            known_lower_bound=bound,
+            use_kernel=use_kernel,
         )
         outcomes.append(
             (
@@ -159,6 +185,7 @@ def _verify_chunk_task(payload: Tuple) -> List[Tuple[int, float, int, int]]:
                 result.distance,
                 result.explored,
                 1 if result.early_exit else 0,
+                result.nodes_expanded,
             )
         )
     return outcomes
@@ -194,6 +221,12 @@ class Verifier:
         ``"thread"`` (default), ``"process"`` for GIL-free verification, or
         ``"serial"`` to pin verification to the calling thread.  Verifiers
         that do not parallelize ignore it.
+    kernel:
+        Branch-and-bound backend selection: ``"auto"`` (default) follows
+        the global ``"kernel"`` optimization flag, ``"array"`` forces the
+        array kernel of :mod:`repro.core.kernel` where it can run, and
+        ``"legacy"`` pins the recursive search.  Both backends return
+        byte-identical distances.
     """
 
     #: verifier identifier used in reports and registry lookups
@@ -207,6 +240,7 @@ class Verifier:
         distance_cache: Optional[MemoCache] = None,
         workers: int = 0,
         executor: str = "thread",
+        kernel: str = "auto",
     ):
         self.database = database
         self.measure = measure
@@ -218,6 +252,9 @@ class Verifier:
         self.distance_cache = distance_cache
         self.workers = int(workers or 0)
         self.executor = executor
+        self.kernel = kernel
+        #: ``use_kernel`` argument derived from ``kernel`` (None = global flag)
+        self.use_kernel = resolve_kernel_mode(kernel)
 
     def _graph_revision(self, graph_id: int) -> int:
         """Rebinding revision of ``graph_id`` in the database (0 if static).
@@ -293,17 +330,24 @@ class LegacyVerifier(Verifier):
         answers: List[int] = []
         distances: Dict[int, float] = {}
         explored = 0
+        expanded = 0
         with self.counters.timer("verify"):
             for graph_id in candidate_ids:
                 result = best_superposition(
-                    query, self.database[graph_id], self.measure, threshold=sigma
+                    query,
+                    self.database[graph_id],
+                    self.measure,
+                    threshold=sigma,
+                    use_kernel=self.use_kernel,
                 )
                 explored += result.explored
+                expanded += result.nodes_expanded
                 if result.distance <= sigma:
                     answers.append(graph_id)
                     distances[graph_id] = result.distance
         self.counters.increment("verify.candidates", len(candidate_ids))
         self.counters.increment("verify.superpositions_explored", explored)
+        self.counters.increment("verify.nodes_expanded", expanded)
         return answers, distances
 
 
@@ -336,6 +380,7 @@ class BoundedVerifier(Verifier):
         distance_cache: Optional[MemoCache] = None,
         workers: int = 0,
         executor: str = "thread",
+        kernel: str = "auto",
     ):
         super().__init__(
             database,
@@ -344,6 +389,7 @@ class BoundedVerifier(Verifier):
             distance_cache=distance_cache,
             workers=workers,
             executor=executor,
+            kernel=kernel,
         )
         if self.distance_cache is None:
             # No index-shared cache (e.g. an index-free baseline strategy):
@@ -455,6 +501,7 @@ class BoundedVerifier(Verifier):
             "verify.superpositions_explored", sum(o[1] for o in outcomes)
         )
         self.counters.increment("verify.early_exits", sum(o[2] for o in outcomes))
+        self.counters.increment("verify.nodes_expanded", sum(o[3] for o in outcomes))
         return answers, distances
 
     def _cache_key(
@@ -467,10 +514,10 @@ class BoundedVerifier(Verifier):
 
     def _cached_outcome(
         self, cache_key: Optional[Tuple[str, Any, int]], sigma: float
-    ) -> Optional[Tuple[Optional[float], int, int]]:
+    ) -> Optional[Tuple[Optional[float], int, int, int]]:
         """Resolve one candidate from the distance cache, if possible.
 
-        Returns the outcome triple when the cache decides the candidate, or
+        Returns the outcome tuple when the cache decides the candidate, or
         ``None`` when a distance computation is needed (miss, or an entry
         cached only as "> threshold" at a smaller threshold — the refresh
         case, which is also accounted here).
@@ -483,11 +530,11 @@ class BoundedVerifier(Verifier):
         distance, threshold = entry
         if distance != INFINITE_DISTANCE:
             # Finite cached distances are exact minima.
-            return (distance if distance <= sigma else None, 0, 0)
+            return (distance if distance <= sigma else None, 0, 0, 0)
         if sigma <= threshold:
             # The true distance exceeds the cached threshold, which
             # already covers this sigma.
-            return (None, 0, 0)
+            return (None, 0, 0, 0)
         # Cached only as "> threshold" — recompute with the larger
         # threshold and refresh the entry.
         self.counters.increment("verify.cache_refreshes")
@@ -500,8 +547,9 @@ class BoundedVerifier(Verifier):
         graph_id: int,
         sigma: float,
         bound: Optional[float],
-    ) -> Tuple[Optional[float], int, int]:
-        """Decide one candidate: ``(distance-or-None, explored, early_exits)``.
+    ) -> Tuple[Optional[float], int, int, int]:
+        """Decide one candidate:
+        ``(distance-or-None, explored, early_exits, nodes_expanded)``.
 
         ``distance`` is the exact minimum superimposed distance when it is
         within ``sigma`` and ``None`` otherwise.  Thread-safe: the memo
@@ -517,6 +565,7 @@ class BoundedVerifier(Verifier):
             self.measure,
             threshold=sigma,
             known_lower_bound=bound,
+            use_kernel=self.use_kernel,
         )
         if cache_key is not None:
             self.distance_cache.put(cache_key, (result.distance, sigma))
@@ -524,6 +573,7 @@ class BoundedVerifier(Verifier):
             result.distance if result.distance <= sigma else None,
             result.explored,
             1 if result.early_exit else 0,
+            result.nodes_expanded,
         )
 
     def _verify_process(
@@ -534,7 +584,7 @@ class BoundedVerifier(Verifier):
         sigma: float,
         bounds: Mapping[int, float],
         pool_size: int,
-    ) -> List[Tuple[Optional[float], int, int]]:
+    ) -> List[Tuple[Optional[float], int, int, int]]:
         """Verify the ordered candidates in worker processes.
 
         The memo cache stays parent-side: cache hits are resolved before
@@ -543,7 +593,7 @@ class BoundedVerifier(Verifier):
         cached on return — so a process-verified query warms the same cache
         a serial one would, byte for byte.
         """
-        outcomes: Dict[int, Tuple[Optional[float], int, int]] = {}
+        outcomes: Dict[int, Tuple[Optional[float], int, int, int]] = {}
         pending: List[int] = []
         for graph_id in ordered:
             cached = self._cached_outcome(self._cache_key(query_key, graph_id), sigma)
@@ -561,6 +611,7 @@ class BoundedVerifier(Verifier):
                         query,
                         self.measure,
                         sigma,
+                        self.use_kernel,
                         [
                             (graph_id, self.database[graph_id], bounds.get(graph_id))
                             for graph_id in chunk
@@ -571,7 +622,7 @@ class BoundedVerifier(Verifier):
                 "process", workers=pool_size, counters=self.counters
             )
             for chunk_outcomes in pool.map(_verify_chunk_task, payloads):
-                for graph_id, distance, explored, early in chunk_outcomes:
+                for graph_id, distance, explored, early, expanded in chunk_outcomes:
                     cache_key = self._cache_key(query_key, graph_id)
                     if cache_key is not None:
                         self.distance_cache.put(cache_key, (distance, sigma))
@@ -579,6 +630,7 @@ class BoundedVerifier(Verifier):
                         distance if distance <= sigma else None,
                         explored,
                         early,
+                        expanded,
                     )
         return [outcomes[graph_id] for graph_id in ordered]
 
@@ -618,6 +670,7 @@ def make_verifier(
     distance_cache: Optional[MemoCache] = None,
     workers: int = 0,
     executor: str = "thread",
+    kernel: str = "auto",
 ) -> Verifier:
     """Instantiate a registered verifier by name.
 
@@ -635,14 +688,18 @@ def make_verifier(
         "distance_cache": distance_cache,
         "workers": workers,
     }
-    # Third-party verifiers written before the executor layer keep working:
-    # the executor kind is passed only to constructors that accept it.
+    # Third-party verifiers written before the executor and kernel layers
+    # keep working: those kinds are passed only to constructors that accept
+    # them.
     signature = inspect.signature(cls.__init__)
-    if "executor" in signature.parameters or any(
+    accepts_any = any(
         parameter.kind is inspect.Parameter.VAR_KEYWORD
         for parameter in signature.parameters.values()
-    ):
+    )
+    if "executor" in signature.parameters or accepts_any:
         kwargs["executor"] = executor
+    if "kernel" in signature.parameters or accepts_any:
+        kwargs["kernel"] = kernel
     try:
         return cls(database, measure, **kwargs)
     except TypeError as exc:
